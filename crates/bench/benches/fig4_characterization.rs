@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the Figure 3/4/5 machinery: single benchmark
+//! runs on the simulated machine and a miniature characterization sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use margins_core::config::CampaignConfig;
+use margins_core::runner::Campaign;
+use margins_sim::{ChipSpec, CoreId, Corner, Millivolts, System, SystemConfig};
+use margins_workloads::{suite, Dataset};
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/single_run");
+    for name in ["bwaves", "mcf", "namd"] {
+        let program = suite::by_name(name, Dataset::Ref).expect("kernel exists");
+        group.bench_function(format!("{name}@nominal"), |b| {
+            b.iter_batched(
+                || System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default()),
+                |mut sys| sys.run(program.as_ref(), CoreId::new(4), 1).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_function(format!("{name}@885mV"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys =
+                        System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default());
+                    sys.slimpro_mut()
+                        .set_pmd_voltage(Millivolts::new(885))
+                        .unwrap();
+                    sys
+                },
+                |mut sys| sys.run(program.as_ref(), CoreId::new(4), 1).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_mini_sweep(c: &mut Criterion) {
+    c.bench_function("fig4/mini_sweep(namd,core4,5steps,2iters)", |b| {
+        let config = CampaignConfig::builder()
+            .benchmarks(["namd"])
+            .cores([CoreId::new(4)])
+            .iterations(2)
+            .start_voltage(Millivolts::new(890))
+            .floor_voltage(Millivolts::new(870))
+            .seed(1)
+            .build()
+            .unwrap();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), config);
+        b.iter(|| campaign.execute());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_runs, bench_mini_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the §4 prediction machinery at the paper's
+//! problem shape: ~100 samples × 102 features, OLS + RFE down to 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use margins_predict::{LinearRegression, NaiveMean, RecursiveFeatureElimination};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic dataset shaped like the Figure 7 severity study.
+fn dataset(n: usize, p: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..p).map(|_| rng.gen_range(0.0..1e6)).collect();
+        let target = 16.0 - row[p - 1] / 1e5 + row[3] / 1e6 + rng.gen_range(-0.5..0.5);
+        x.push(row);
+        y.push(target);
+    }
+    (x, y)
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let (x, y) = dataset(100, 102);
+    c.bench_function("fig7/ols_fit(100x102)", |b| {
+        b.iter(|| LinearRegression::fit(&x, &y).unwrap());
+    });
+    let model = LinearRegression::fit(&x, &y).unwrap();
+    c.bench_function("fig7/predict(100)", |b| {
+        b.iter(|| model.predict_many(&x));
+    });
+}
+
+fn bench_rfe(c: &mut Criterion) {
+    let (x, y) = dataset(100, 102);
+    c.bench_function("fig7/rfe_102_to_5(step5)", |b| {
+        b.iter(|| RecursiveFeatureElimination::fit(&x, &y, 5, 5).unwrap());
+    });
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let (_, y) = dataset(100, 102);
+    c.bench_function("fig7/naive_baseline", |b| {
+        b.iter(|| NaiveMean::fit(&y).predict_many(20));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ols, bench_rfe, bench_naive
+}
+criterion_main!(benches);

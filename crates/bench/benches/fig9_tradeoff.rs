@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the §5 governor path: staircase construction,
+//! scheduling and governor decisions over an 8-task table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use margins_energy::schedule::{Assignment, Scheduler};
+use margins_energy::tradeoff::pareto_curve;
+use margins_energy::{Governor, Policy, VminTable};
+use margins_sim::{CoreId, Millivolts};
+
+fn fixture() -> (Vec<Assignment>, VminTable) {
+    let mut table = VminTable::new();
+    let data = [
+        (0u8, "leslie3d", 915u32),
+        (1, "bwaves", 910),
+        (2, "cactusADM", 900),
+        (3, "milc", 890),
+        (4, "dealII", 870),
+        (5, "gromacs", 875),
+        (6, "namd", 885),
+        (7, "mcf", 865),
+    ];
+    let mut assignments = Vec::new();
+    for (core, wl, v) in data {
+        for c in CoreId::all() {
+            // Populate the whole table (core offset pattern) so the
+            // scheduler has full information.
+            let offset = [22u32, 19, 12, 14, 0, 2, 9, 7][c.index()];
+            table.insert(c, wl, Millivolts::new(v - 22 + offset));
+        }
+        assignments.push(Assignment {
+            core: CoreId::new(core),
+            workload: wl.to_owned(),
+        });
+    }
+    (assignments, table)
+}
+
+fn bench_staircase(c: &mut Criterion) {
+    let (assignments, table) = fixture();
+    c.bench_function("fig9/pareto_curve(8 tasks)", |b| {
+        b.iter(|| pareto_curve(&assignments, &table).unwrap());
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let (assignments, table) = fixture();
+    let workloads: Vec<String> = assignments.iter().map(|a| a.workload.clone()).collect();
+    c.bench_function("fig9/robust_first_schedule(8 tasks)", |b| {
+        let scheduler = Scheduler::new();
+        b.iter(|| scheduler.assign_robust_first(&workloads, &table).unwrap());
+    });
+}
+
+fn bench_governor(c: &mut Criterion) {
+    let (assignments, table) = fixture();
+    let governor = Governor::new(
+        table,
+        Policy {
+            guardband_steps: 1,
+            max_performance_loss: 0.25,
+        },
+    );
+    c.bench_function("fig9/governor_decide", |b| {
+        b.iter(|| governor.decide(&assignments).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_staircase, bench_scheduler, bench_governor);
+criterion_main!(benches);

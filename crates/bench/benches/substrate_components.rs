@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the substrate components behind the
+//! tables: SECDED/parity codecs (Table 2's protection), the severity
+//! function (Table 4), cache accesses and the timing-fault sampler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use margins_core::effect::{Effect, EffectSet};
+use margins_core::severity::SeverityWeights;
+use margins_ecc::parity::ParityWord;
+use margins_ecc::secded::Codeword;
+use margins_sim::cache::CacheHierarchy;
+use margins_sim::edac::EdacLog;
+use margins_sim::faults::timing::{OpClass, TimingFaultModel};
+use margins_sim::freq::TimingRegime;
+use margins_sim::{ChipSpec, CoreId, Corner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ecc(c: &mut Criterion) {
+    c.bench_function("ecc/secded_encode", |b| {
+        b.iter(|| Codeword::encode(black_box(0xDEAD_BEEF_CAFE_F00D)));
+    });
+    let cw = Codeword::encode(0xDEAD_BEEF_CAFE_F00D);
+    c.bench_function("ecc/secded_decode_clean", |b| {
+        b.iter(|| black_box(&cw).decode());
+    });
+    let bad = cw.with_flipped_data_bit(17);
+    c.bench_function("ecc/secded_decode_correcting", |b| {
+        b.iter(|| black_box(&bad).decode());
+    });
+    c.bench_function("ecc/parity_store_check", |b| {
+        b.iter(|| ParityWord::store(black_box(0x0123_4567_89AB_CDEF)).check());
+    });
+}
+
+fn bench_severity(c: &mut Criterion) {
+    let weights = SeverityWeights::paper();
+    let runs: Vec<EffectSet> = (0..10)
+        .map(|i| {
+            if i < 6 {
+                EffectSet::of(Effect::Sdc)
+            } else if i < 8 {
+                [Effect::Sdc, Effect::Ce].into_iter().collect()
+            } else {
+                EffectSet::of(Effect::Sc)
+            }
+        })
+        .collect();
+    c.bench_function("severity/10_runs(table4 weights)", |b| {
+        b.iter(|| weights.severity(black_box(&runs)));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/data_access_stream", |b| {
+        let mut h = CacheHierarchy::new(ChipSpec::new(Corner::Ttt, 0));
+        let mut edac = EdacLog::new();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) % (1 << 22);
+            h.data_access(CoreId::new(0), addr, false, 980.0, 950.0, &mut edac)
+        });
+    });
+}
+
+fn bench_fault_sampler(c: &mut Criterion) {
+    c.bench_function("faults/on_op_safe_voltage", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 980.0, &mut rng);
+        b.iter(|| m.on_op(OpClass::FpMul, &mut rng));
+    });
+    c.bench_function("faults/on_op_unsafe_voltage", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 870.0, &mut rng);
+        b.iter(|| m.on_op(OpClass::FpMul, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ecc,
+    bench_severity,
+    bench_cache,
+    bench_fault_sampler
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 5: the bwaves severity heat-map on the TTT chip.
+
+use crate::fig34::ChipCharacterization;
+use std::fmt::Write as _;
+
+/// Renders the Figure 5 panel: per voltage step (rows, descending) and per
+/// core (columns), the severity value of bwaves on the TTT chip. Empty
+/// cells are the safe region; the paper's figure shows values from 1.3 up
+/// to 16.0 as the voltage descends through the unsafe region.
+#[must_use]
+pub fn fig5_report(ttt: &ChipCharacterization, benchmark: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — {benchmark} severity on {} cores (blank = safe region)",
+        ttt.spec
+    );
+    let summaries: Vec<_> = ttt.result.by_program(benchmark).collect();
+    if summaries.is_empty() {
+        let _ = writeln!(out, "  (no data: benchmark was not characterized)");
+        return out;
+    }
+    // Collect the union of voltages seen across cores, descending.
+    let mut voltages: Vec<u32> = summaries
+        .iter()
+        .flat_map(|s| s.steps.iter().map(|st| st.mv))
+        .collect();
+    voltages.sort_unstable_by(|a, b| b.cmp(a));
+    voltages.dedup();
+
+    let _ = write!(out, "{:>6}", "mV");
+    for s in &summaries {
+        let _ = write!(out, "{:>8}", format!("core{}", s.core.index()));
+    }
+    let _ = writeln!(out);
+    for mv in voltages {
+        let _ = write!(out, "{mv:>6}");
+        for s in &summaries {
+            match s.step(mv) {
+                Some(st) if st.severity.value() > 0.0 => {
+                    let _ = write!(out, "{:>8.1}", st.severity.value());
+                }
+                Some(_) => {
+                    let _ = write!(out, "{:>8}", "");
+                }
+                None => {
+                    let _ = write!(out, "{:>8}", "·");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Extracts the severity series of one core (descending voltage) — used by
+/// tests to check the smooth-growth property the paper highlights for
+/// bwaves.
+#[must_use]
+pub fn severity_series(
+    ttt: &ChipCharacterization,
+    benchmark: &str,
+    core: margins_sim::CoreId,
+) -> Vec<(u32, f64)> {
+    ttt.result
+        .summary(benchmark, "ref", core)
+        .map(|s| {
+            s.steps
+                .iter()
+                .map(|st| (st.mv, st.severity.value()))
+                .collect()
+        })
+        .unwrap_or_default()
+}

@@ -1,0 +1,42 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation, plus shared fixtures for the Criterion benchmarks.
+//!
+//! Each experiment is a pure function from a [`scale::Scale`] (full = the
+//! paper's configuration, quick = a CI-sized subset) to a structured result
+//! plus a printable report. The `experiments` binary
+//! (`cargo run --release -p margins-bench --bin experiments -- <id>`)
+//! dispatches on experiment ids; see `EXPERIMENTS.md` at the workspace root
+//! for the paper-vs-measured record.
+//!
+//! | id | reproduces |
+//! |----|------------|
+//! | `table2` | Table 2 — chip configuration |
+//! | `table3` | Table 3 — effect taxonomy (exercised live) |
+//! | `table4` | Table 4 — severity weights |
+//! | `fig3`   | Figure 3 — robust-core Vmin across 3 chips |
+//! | `fig4`   | Figure 4 — per-core safe/unsafe/crash regions |
+//! | `fig5`   | Figure 5 — bwaves severity heat-map on TTT |
+//! | `sec3-2` | §3.2 — the 1.2 GHz divided regime (uniform 760 mV) |
+//! | `sec3-4` | §3.4 — ALU/FPU vs cache self-test ordering |
+//! | `case1`  | §4.3.1 — Vmin prediction vs the naïve baseline |
+//! | `fig7`   | Figure 7 — severity prediction, most sensitive core |
+//! | `fig8`   | Figure 8 — severity prediction, most robust core |
+//! | `fig9`   | Figure 9 — energy/performance staircase |
+//! | `headline` | abstract/§5 — 19.4% / 38.8% / 69.9% savings numbers |
+//! | `sec6`   | §6 design-enhancement ablation (extension) |
+//! | `socrail`| PCP/SoC-rail characterization (extension) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chips;
+pub mod energy_exp;
+pub mod extensions;
+pub mod fig34;
+pub mod fig5;
+pub mod prediction;
+pub mod regimes;
+pub mod scale;
+pub mod tables;
+
+pub use scale::Scale;

@@ -1,0 +1,79 @@
+//! Experiment sizing.
+
+use margins_sim::CoreId;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Campaign iterations per (benchmark, core, voltage) — the paper uses
+    /// 10.
+    pub iterations: u32,
+    /// Worker threads for campaign sharding.
+    pub threads: usize,
+    /// Benchmarks characterized in Figures 3–5.
+    pub fig4_benchmarks: Vec<&'static str>,
+    /// Cores characterized in Figure 4 (the paper sweeps all eight).
+    pub fig4_cores: Vec<CoreId>,
+    /// Whether the prediction study uses the full 40-pair suite.
+    pub full_prediction_suite: bool,
+}
+
+impl Scale {
+    /// The paper-sized configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        Scale {
+            iterations: 10,
+            threads: default_threads(),
+            fig4_benchmarks: margins_workloads::suite::FIGURE4_NAMES.to_vec(),
+            fig4_cores: CoreId::all().collect(),
+            full_prediction_suite: true,
+        }
+    }
+
+    /// A CI-sized subset: fewer iterations, benchmarks and cores. The
+    /// qualitative structure (region ordering, prediction superiority over
+    /// the naïve baseline) still holds at this size.
+    #[must_use]
+    pub fn quick() -> Self {
+        Scale {
+            iterations: 4,
+            threads: default_threads(),
+            fig4_benchmarks: vec!["bwaves", "leslie3d", "milc", "namd", "mcf"],
+            fig4_cores: vec![
+                CoreId::new(0),
+                CoreId::new(1),
+                CoreId::new(4),
+                CoreId::new(5),
+            ],
+            full_prediction_suite: false,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_dimensions() {
+        let s = Scale::full();
+        assert_eq!(s.iterations, 10);
+        assert_eq!(s.fig4_benchmarks.len(), 10);
+        assert_eq!(s.fig4_cores.len(), 8);
+    }
+
+    #[test]
+    fn quick_is_a_strict_subset() {
+        let full = Scale::full();
+        let quick = Scale::quick();
+        assert!(quick.iterations < full.iterations);
+        for b in &quick.fig4_benchmarks {
+            assert!(full.fig4_benchmarks.contains(b));
+        }
+    }
+}

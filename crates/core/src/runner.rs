@@ -1,0 +1,628 @@
+//! The execution phase of Figure 2: voltage sweeps with recovery.
+//!
+//! For every (benchmark, core) pair the runner applies the *reliable cores
+//! setup* (target PMD at full clock, every other PMD parked at 300 MHz),
+//! captures a golden output digest at nominal conditions, then walks the
+//! shared PMD rail downward in 5 mV steps executing N iterations per step.
+//! After each run the rail is restored to nominal before the log is
+//! persisted (*safe data collection*), and the watchdog power-cycles the
+//! board whenever a run hangs it.
+
+use crate::classify::{classify_run, ClassifiedRun};
+use crate::config::SweptRail;
+use crate::config::{BenchmarkRef, CampaignConfig};
+use crate::watchdog::Watchdog;
+use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
+use margins_sim::{ChipSpec, CoreId, CounterFile, OutputDigest, PmdId, System, SystemConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A characterization campaign: one chip, one configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: ChipSpec,
+    config: CampaignConfig,
+}
+
+/// Everything a campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The characterized chip.
+    pub spec: ChipSpec,
+    /// The configuration that ran.
+    pub config: CampaignConfig,
+    /// All classified runs, ordered by (benchmark, core, voltage ↓, iter).
+    pub runs: Vec<ClassifiedRun>,
+    /// Golden digests per (benchmark, dataset).
+    pub goldens: HashMap<(String, String), OutputDigest>,
+    /// Watchdog recoveries performed during the campaign.
+    pub watchdog_power_cycles: u32,
+}
+
+impl Campaign {
+    /// Creates a campaign for `spec` with `config`.
+    #[must_use]
+    pub fn new(spec: ChipSpec, config: CampaignConfig) -> Self {
+        Campaign { spec, config }
+    }
+
+    /// The chip under characterization.
+    #[must_use]
+    pub fn spec(&self) -> ChipSpec {
+        self.spec
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Executes the campaign serially.
+    #[must_use]
+    pub fn execute(&self) -> CampaignOutcome {
+        self.execute_parallel(1)
+    }
+
+    /// Executes the campaign sharded over `threads` worker threads, one
+    /// simulated board per worker. Results are bit-identical to the serial
+    /// execution: run seeds depend only on (campaign seed, benchmark, core,
+    /// voltage, iteration), never on scheduling.
+    #[must_use]
+    pub fn execute_parallel(&self, threads: usize) -> CampaignOutcome {
+        let items: Vec<(usize, CoreId)> = self
+            .config
+            .benchmarks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, _)| self.config.cores.iter().map(move |c| (bi, *c)))
+            .collect();
+        let threads = threads.clamp(1, items.len().max(1));
+
+        let mut shards: Vec<Vec<(usize, CoreId)>> = vec![Vec::new(); threads];
+        for (i, item) in items.iter().enumerate() {
+            shards[i % threads].push(*item);
+        }
+
+        let shard_results: Vec<ShardResult> = if threads == 1 {
+            vec![self.run_shard(&shards[0])]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| scope.spawn(move |_| self.run_shard(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+            .expect("campaign scope panicked")
+        };
+
+        let mut runs = Vec::new();
+        let mut goldens = HashMap::new();
+        let mut power_cycles = 0;
+        for shard in shard_results {
+            runs.extend(shard.runs);
+            goldens.extend(shard.goldens);
+            power_cycles += shard.power_cycles;
+        }
+        let rail = self.config.rail;
+        runs.sort_by(|a, b| {
+            (
+                &a.program,
+                &a.dataset,
+                a.core,
+                std::cmp::Reverse(a.swept_mv(rail)),
+                a.iteration,
+            )
+                .cmp(&(
+                    &b.program,
+                    &b.dataset,
+                    b.core,
+                    std::cmp::Reverse(b.swept_mv(rail)),
+                    b.iteration,
+                ))
+        });
+        CampaignOutcome {
+            spec: self.spec,
+            config: self.config.clone(),
+            runs,
+            goldens,
+            watchdog_power_cycles: power_cycles,
+        }
+    }
+
+    fn run_shard(&self, items: &[(usize, CoreId)]) -> ShardResult {
+        let sys_config = SystemConfig {
+            enhancements: self.config.enhancements,
+            ..SystemConfig::default()
+        };
+        let mut system = System::new(self.spec, sys_config);
+        let mut watchdog = Watchdog::new();
+        let mut result = ShardResult::default();
+        for (bench_idx, core) in items {
+            let bench = &self.config.benchmarks[*bench_idx];
+            let sweep = self.sweep(&mut system, &mut watchdog, bench, *core);
+            result.goldens.insert(
+                (bench.name.clone(), bench.dataset.label().to_owned()),
+                sweep.golden,
+            );
+            result.runs.extend(sweep.runs);
+        }
+        result.power_cycles = watchdog.power_cycles();
+        result
+    }
+
+    /// The downward sweep for one (benchmark, core) pair.
+    fn sweep(
+        &self,
+        system: &mut System,
+        watchdog: &mut Watchdog,
+        bench: &BenchmarkRef,
+        core: CoreId,
+    ) -> SweepRuns {
+        let program = margins_workloads::suite::by_name(&bench.name, bench.dataset)
+            .expect("benchmark validated at config build time");
+
+        watchdog.ensure_responsive(system);
+        self.apply_reliable_cores_setup(system, core);
+
+        // Golden run at nominal conditions.
+        let golden_seed = run_seed(
+            self.config.seed,
+            &bench.name,
+            bench.dataset.label(),
+            core,
+            0,
+            u32::MAX,
+        );
+        let golden_record = system
+            .run(program.as_ref(), core, golden_seed)
+            .expect("system responsive after watchdog check");
+        assert_eq!(
+            golden_record.outcome,
+            margins_sim::RunOutcome::Completed,
+            "golden run at nominal must complete"
+        );
+        let golden = golden_record.digest;
+
+        let mut runs = Vec::new();
+        let mut consecutive_all_sc = 0u32;
+        for voltage in self.config.sweep_voltages() {
+            let mut sc_runs = 0u32;
+            for iteration in 0..self.config.iterations {
+                if watchdog.ensure_responsive(system) {
+                    // Recovery wiped the V/F setup; reapply it.
+                    self.apply_reliable_cores_setup(system, core);
+                }
+                self.set_swept_rail(system, voltage);
+                let seed = run_seed(
+                    self.config.seed,
+                    &bench.name,
+                    bench.dataset.label(),
+                    core,
+                    voltage.get(),
+                    iteration,
+                );
+                let record = system
+                    .run(program.as_ref(), core, seed)
+                    .expect("ensured responsive before the run");
+                // Safe data collection: restore nominal before persisting
+                // the log (§2.2.1) — only possible if the board survived.
+                if system.is_responsive() {
+                    self.restore_swept_rail(system);
+                }
+                let classified = classify_run(
+                    &record,
+                    Some(golden),
+                    iteration,
+                    self.config.collect_counters,
+                );
+                if classified.effects.is_system_crash() {
+                    sc_runs += 1;
+                }
+                runs.push(classified);
+            }
+            if sc_runs == self.config.iterations {
+                consecutive_all_sc += 1;
+            } else {
+                consecutive_all_sc = 0;
+            }
+            if self.config.crash_stop_steps > 0
+                && consecutive_all_sc >= self.config.crash_stop_steps
+            {
+                break;
+            }
+        }
+        SweepRuns { golden, runs }
+    }
+
+    fn set_swept_rail(&self, system: &mut System, voltage: Millivolts) {
+        let mut slimpro = system.slimpro_mut();
+        match self.config.rail {
+            SweptRail::Pmd => slimpro
+                .set_pmd_voltage(voltage)
+                .expect("sweep voltages validated at config build time"),
+            SweptRail::PcpSoc => slimpro
+                .set_soc_voltage(voltage)
+                .expect("sweep voltages validated at config build time"),
+        }
+    }
+
+    fn restore_swept_rail(&self, system: &mut System) {
+        let mut slimpro = system.slimpro_mut();
+        match self.config.rail {
+            SweptRail::Pmd => slimpro
+                .set_pmd_voltage(PMD_NOMINAL)
+                .expect("nominal is always valid"),
+            SweptRail::PcpSoc => slimpro
+                .set_soc_voltage(SOC_NOMINAL)
+                .expect("nominal is always valid"),
+        }
+    }
+
+    /// The reliable-cores setup of §2.2.1.
+    fn apply_reliable_cores_setup(&self, system: &mut System, core: CoreId) {
+        let target_pmd = core.pmd();
+        let mut slimpro = system.slimpro_mut();
+        for pmd in PmdId::all() {
+            let f = if pmd == target_pmd {
+                self.config.target_frequency
+            } else {
+                self.config.parked_frequency
+            };
+            slimpro
+                .set_pmd_frequency(pmd, f)
+                .expect("frequencies validated at config build time");
+        }
+    }
+}
+
+impl CampaignOutcome {
+    /// Merges several campaigns of the *same chip and configuration shape*
+    /// into one outcome whose iteration space is the concatenation of the
+    /// inputs — the paper's methodology of "running the entire
+    /// time-consuming undervolting experiment ten times for each benchmark
+    /// … during 6 months" (§3.2) and aggregating.
+    ///
+    /// Iteration indices of later campaigns are shifted so every run keeps
+    /// a unique (benchmark, core, voltage, iteration) coordinate; the
+    /// merged `config.iterations` is the sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] when the campaigns disagree on chip, rail,
+    /// voltage grid or frequency setup.
+    pub fn merge<I>(outcomes: I) -> Result<CampaignOutcome, MergeError>
+    where
+        I: IntoIterator<Item = CampaignOutcome>,
+    {
+        let mut iter = outcomes.into_iter();
+        let mut merged = iter.next().ok_or(MergeError::Empty)?;
+        for outcome in iter {
+            if outcome.spec != merged.spec {
+                return Err(MergeError::ChipMismatch);
+            }
+            let a = &merged.config;
+            let b = &outcome.config;
+            if a.start_voltage != b.start_voltage
+                || a.floor_voltage != b.floor_voltage
+                || a.target_frequency != b.target_frequency
+                || a.parked_frequency != b.parked_frequency
+                || a.rail != b.rail
+                || a.enhancements != b.enhancements
+            {
+                return Err(MergeError::ConfigMismatch);
+            }
+            let offset = merged.config.iterations;
+            merged.config.iterations += outcome.config.iterations;
+            merged.runs.extend(outcome.runs.into_iter().map(|mut r| {
+                r.iteration += offset;
+                r
+            }));
+            merged.goldens.extend(outcome.goldens);
+            merged.watchdog_power_cycles += outcome.watchdog_power_cycles;
+        }
+        let rail = merged.config.rail;
+        merged.runs.sort_by(|a, b| {
+            (
+                &a.program,
+                &a.dataset,
+                a.core,
+                std::cmp::Reverse(a.swept_mv(rail)),
+                a.iteration,
+            )
+                .cmp(&(
+                    &b.program,
+                    &b.dataset,
+                    b.core,
+                    std::cmp::Reverse(b.swept_mv(rail)),
+                    b.iteration,
+                ))
+        });
+        Ok(merged)
+    }
+}
+
+/// Error merging campaign outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// No outcomes were provided.
+    Empty,
+    /// The campaigns characterized different chips.
+    ChipMismatch,
+    /// The campaigns used incompatible configurations.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => f.write_str("no campaign outcomes to merge"),
+            MergeError::ChipMismatch => f.write_str("campaigns characterized different chips"),
+            MergeError::ConfigMismatch => f.write_str("campaigns used incompatible configurations"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+#[derive(Default)]
+struct ShardResult {
+    runs: Vec<ClassifiedRun>,
+    goldens: HashMap<(String, String), OutputDigest>,
+    power_cycles: u32,
+}
+
+struct SweepRuns {
+    golden: OutputDigest,
+    runs: Vec<ClassifiedRun>,
+}
+
+/// A nominal-conditions workload profile (Figure 6, phase 2): the full PMU
+/// counter file plus the golden digest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name.
+    pub name: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// PMU counters of the nominal run.
+    pub counters: CounterFile,
+    /// Golden output digest.
+    pub golden: OutputDigest,
+    /// Modelled runtime at nominal conditions, seconds.
+    pub runtime_s: f64,
+    /// Modelled cycles.
+    pub cycles: u64,
+}
+
+/// Profiles `benchmarks` at nominal conditions on `core` of a fresh chip
+/// (§4.1: "collecting the performance counters of the entire benchmarks
+/// using perf").
+#[must_use]
+pub fn profile(spec: ChipSpec, benchmarks: &[BenchmarkRef], core: CoreId) -> Vec<WorkloadProfile> {
+    let mut system = System::new(spec, SystemConfig::default());
+    benchmarks
+        .iter()
+        .map(|b| {
+            let program = margins_workloads::suite::by_name(&b.name, b.dataset)
+                .unwrap_or_else(|| panic!("unknown benchmark '{}'", b.name));
+            let record = system
+                .run(program.as_ref(), core, 0x0090_F11E)
+                .expect("nominal profiling never crashes the board");
+            WorkloadProfile {
+                name: b.name.clone(),
+                dataset: b.dataset.label().to_owned(),
+                counters: record.counters,
+                golden: record.digest,
+                runtime_s: record.runtime_s,
+                cycles: record.cycles,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic per-run seed from the campaign coordinates.
+fn run_seed(base: u64, name: &str, dataset: &str, core: CoreId, mv: u32, iteration: u32) -> u64 {
+    let mut h = base ^ 0x517C_C1B7_2722_0A95;
+    for b in name.bytes().chain([0xFF]).chain(dataset.bytes()) {
+        h = splitmix(h ^ u64::from(b));
+    }
+    h = splitmix(h ^ (core.index() as u64) << 32);
+    h = splitmix(h ^ u64::from(mv) << 8);
+    splitmix(h ^ u64::from(iteration))
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effect::Effect;
+    use margins_sim::{Corner, Millivolts};
+
+    fn tiny_config(bench: &str, core: u8, hi: u32, lo: u32, iters: u32) -> CampaignConfig {
+        CampaignConfig::builder()
+            .benchmarks([bench])
+            .cores([CoreId::new(core)])
+            .iterations(iters)
+            .start_voltage(Millivolts::new(hi))
+            .floor_voltage(Millivolts::new(lo))
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn safe_band_sweep_is_all_normal() {
+        // namd on the robust core: Vmin ≈ 867, so [890, 880] is safe.
+        let cfg = tiny_config("namd", 4, 890, 880, 3);
+        let out = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg).execute();
+        assert_eq!(out.runs.len(), 3 * 3);
+        assert!(out.runs.iter().all(|r| r.effects.is_normal()));
+        assert_eq!(out.watchdog_power_cycles, 0);
+    }
+
+    #[test]
+    fn deep_sweep_reaches_crashes_and_recovers() {
+        let cfg = tiny_config("bwaves", 0, 890, 840, 2);
+        let out = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg).execute();
+        let any_sc = out.runs.iter().any(|r| r.effects.contains(Effect::Sc));
+        assert!(any_sc, "sweeping bwaves to 840mV on core 0 must crash");
+        assert!(
+            out.watchdog_power_cycles > 0,
+            "watchdog must have recovered"
+        );
+        // The early-stop keeps the sweep from sweeping all 11 steps blindly.
+        let swept: std::collections::BTreeSet<u32> = out.runs.iter().map(|r| r.pmd_mv).collect();
+        assert!(swept.len() <= 11);
+    }
+
+    #[test]
+    fn abnormal_effects_appear_below_vmin() {
+        // bwaves on sensitive core 0: Vmin ≈ 905; sweep through it.
+        let cfg = tiny_config("bwaves", 0, 915, 885, 4);
+        let out = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg).execute();
+        let abnormal = out.runs.iter().filter(|r| !r.effects.is_normal()).count();
+        assert!(abnormal > 0, "sweeping through Vmin must expose effects");
+        // And the top of the sweep is still clean.
+        assert!(out
+            .runs
+            .iter()
+            .filter(|r| r.pmd_mv == 915)
+            .all(|r| r.effects.is_normal()));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let cfg = CampaignConfig::builder()
+            .benchmarks(["namd", "mcf"])
+            .cores([CoreId::new(0), CoreId::new(4)])
+            .iterations(2)
+            .start_voltage(Millivolts::new(890))
+            .floor_voltage(Millivolts::new(870))
+            .seed(11)
+            .build()
+            .unwrap();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+        let serial = campaign.execute();
+        let parallel = campaign.execute_parallel(4);
+        assert_eq!(serial.runs.len(), parallel.runs.len());
+        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.core, b.core);
+            assert_eq!(a.pmd_mv, b.pmd_mv);
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(
+                a.effects, b.effects,
+                "{} {} {}mV",
+                a.program, a.core, a.pmd_mv
+            );
+        }
+        assert_eq!(serial.goldens, parallel.goldens);
+    }
+
+    #[test]
+    fn profiles_cover_all_counters_and_goldens() {
+        let benches = vec![
+            BenchmarkRef {
+                name: "namd".into(),
+                dataset: margins_workloads::Dataset::Ref,
+            },
+            BenchmarkRef {
+                name: "mcf".into(),
+                dataset: margins_workloads::Dataset::Ref,
+            },
+        ];
+        let profiles = profile(ChipSpec::new(Corner::Ttt, 0), &benches, CoreId::new(0));
+        assert_eq!(profiles.len(), 2);
+        for p in &profiles {
+            assert!(p.counters.get(margins_sim::PmuEvent::InstRetired) > 0);
+            assert!(p.cycles > 0);
+        }
+        assert_ne!(profiles[0].golden, profiles[1].golden);
+    }
+
+    #[test]
+    fn merging_campaigns_concatenates_iterations() {
+        let make = |seed: u64| {
+            let cfg = tiny_config("namd", 4, 890, 880, 2);
+            let cfg = CampaignConfig { seed, ..cfg };
+            Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg).execute()
+        };
+        let a = make(1);
+        let b = make(2);
+        let merged = CampaignOutcome::merge([a.clone(), b]).unwrap();
+        assert_eq!(merged.config.iterations, 4);
+        assert_eq!(merged.runs.len(), a.runs.len() * 2);
+        // Iteration indices are unique per coordinate.
+        let mut seen = std::collections::HashSet::new();
+        for r in &merged.runs {
+            assert!(
+                seen.insert((r.pmd_mv, r.iteration)),
+                "{}@{}",
+                r.pmd_mv,
+                r.iteration
+            );
+        }
+        // The merged outcome analyzes cleanly with the widened N.
+        let result = crate::regions::analyze(&merged, &crate::severity::SeverityWeights::paper());
+        assert_eq!(result.summaries[0].steps[0].effect_sets.len(), 4);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_campaigns() {
+        let a = Campaign::new(
+            ChipSpec::new(Corner::Ttt, 0),
+            tiny_config("namd", 4, 890, 880, 1),
+        )
+        .execute();
+        let b = Campaign::new(
+            ChipSpec::new(Corner::Tff, 1),
+            tiny_config("namd", 4, 890, 880, 1),
+        )
+        .execute();
+        assert_eq!(
+            CampaignOutcome::merge([a.clone(), b]).unwrap_err(),
+            MergeError::ChipMismatch
+        );
+        let c = Campaign::new(
+            ChipSpec::new(Corner::Ttt, 0),
+            tiny_config("namd", 4, 895, 880, 1),
+        )
+        .execute();
+        assert_eq!(
+            CampaignOutcome::merge([a, c]).unwrap_err(),
+            MergeError::ConfigMismatch
+        );
+        assert_eq!(
+            CampaignOutcome::merge(Vec::new()).unwrap_err(),
+            MergeError::Empty
+        );
+    }
+
+    #[test]
+    fn run_seeds_are_distinct_across_coordinates() {
+        let s = |mv, iter| run_seed(1, "bwaves", "ref", CoreId::new(0), mv, iter);
+        assert_ne!(s(900, 0), s(900, 1));
+        assert_ne!(s(900, 0), s(895, 0));
+        assert_ne!(
+            run_seed(1, "bwaves", "ref", CoreId::new(0), 900, 0),
+            run_seed(1, "bwaves", "ref", CoreId::new(1), 900, 0)
+        );
+        assert_ne!(
+            run_seed(1, "bwaves", "ref", CoreId::new(0), 900, 0),
+            run_seed(1, "bwaves", "train", CoreId::new(0), 900, 0)
+        );
+        assert_eq!(s(900, 3), s(900, 3), "seeds are deterministic");
+    }
+}

@@ -1,0 +1,93 @@
+//! The external watchdog monitor — the framework's Raspberry Pi (§2.2).
+//!
+//! "To completely automate the characterization process, and due to the
+//! frequent and unavoidable system crashes that occur when the system
+//! operates in reduced voltage levels, we set up a Raspberry Pi board
+//! connected externally to the X-Gene 2 board as a watchdog monitor …
+//! physically connected to both the Serial Port, as well as to the Power
+//! and Reset buttons."
+//!
+//! The simulated equivalent polls the system's heartbeat and drives its
+//! power lines; it keeps statistics so campaigns can report how many
+//! recoveries they needed.
+
+use margins_sim::System;
+use serde::{Deserialize, Serialize};
+
+/// The watchdog monitor attached to a system's power/reset lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchdog {
+    power_cycles: u32,
+    checks: u64,
+}
+
+impl Watchdog {
+    /// A fresh watchdog.
+    #[must_use]
+    pub fn new() -> Self {
+        Watchdog::default()
+    }
+
+    /// Polls the heartbeat; if the board is unresponsive, presses the power
+    /// button. Returns `true` when a recovery was performed.
+    pub fn ensure_responsive(&mut self, system: &mut System) -> bool {
+        self.checks += 1;
+        if system.is_responsive() {
+            false
+        } else {
+            system.power_cycle();
+            self.power_cycles += 1;
+            true
+        }
+    }
+
+    /// Number of power cycles performed so far.
+    #[must_use]
+    pub fn power_cycles(&self) -> u32 {
+        self.power_cycles
+    }
+
+    /// Number of heartbeat polls performed so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use margins_sim::{ChipSpec, CoreId, Corner, Millivolts, SystemConfig};
+    use margins_workloads::{suite, Dataset};
+
+    #[test]
+    fn responsive_system_needs_no_action() {
+        let mut sys = System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default());
+        let mut dog = Watchdog::new();
+        assert!(!dog.ensure_responsive(&mut sys));
+        assert_eq!(dog.power_cycles(), 0);
+        assert_eq!(dog.checks(), 1);
+    }
+
+    #[test]
+    fn hung_system_gets_power_cycled() {
+        let mut sys = System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default());
+        let mut dog = Watchdog::new();
+        // Crash the machine by deep undervolting.
+        sys.slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(820))
+            .unwrap();
+        let prog = suite::by_name("bwaves", Dataset::Ref).unwrap();
+        for seed in 0..30 {
+            if sys.run(prog.as_ref(), CoreId::new(0), seed).is_err() || !sys.is_responsive() {
+                break;
+            }
+        }
+        assert!(!sys.is_responsive(), "820mV bwaves must hang the board");
+        assert!(dog.ensure_responsive(&mut sys));
+        assert!(sys.is_responsive());
+        assert_eq!(dog.power_cycles(), 1);
+        // Recovery restored nominal voltage (the boot firmware default).
+        assert_eq!(sys.supplies().pmd(), margins_sim::volt::PMD_NOMINAL);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error-detection and error-correction codecs used by the simulated cache
+//! hierarchy of `margins-sim`.
+//!
+//! The APM X-Gene 2 protects its L1 instruction and data caches with
+//! **parity** (detect-only) and its L2/L3 caches with **SECDED ECC**
+//! (single-error-correct, double-error-detect); see Table 2 of
+//! Papadimitriou et al., MICRO-50 2017. This crate provides both codecs as
+//! real, self-contained implementations:
+//!
+//! * [`parity`] — even parity over 64-bit words,
+//! * [`secded`] — a Hamming SECDED (72,64) code: 64 data bits protected by
+//!   7 Hamming check bits plus one overall parity bit,
+//! * [`secded32`] — a Hamming SECDED (39,32) code and a two-way interleaved
+//!   64-bit word protector built on it — the "stronger ECC" upgrade the
+//!   paper's §6 recommends (adjacent double-bit errors become correctable).
+//!
+//! # Examples
+//!
+//! ```
+//! use margins_ecc::secded::Codeword;
+//!
+//! let cw = Codeword::encode(0xDEAD_BEEF_CAFE_F00D);
+//! // Flip one data bit in flight…
+//! let corrupted = cw.with_flipped_data_bit(17);
+//! // …and SECDED transparently corrects it.
+//! assert_eq!(corrupted.decode().data(), Some(0xDEAD_BEEF_CAFE_F00D));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parity;
+pub mod secded;
+pub mod secded32;
+
+pub use parity::{parity64, ParityWord};
+pub use secded::{Codeword, Decoded};
+pub use secded32::{Codeword32, InterleavedWord};
+
+/// Outcome of checking a protected memory word, in the vocabulary the Linux
+/// EDAC driver (and hence the characterization framework) uses.
+///
+/// `Corrected` corresponds to a *CE* (corrected error) report, while
+/// `Uncorrected` corresponds to a *UE* (uncorrected error) report in Table 3
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckOutcome {
+    /// No error was detected in the word.
+    Clean,
+    /// An error was detected and transparently corrected (SECDED single-bit).
+    Corrected,
+    /// An error was detected but could not be corrected (parity hit, or a
+    /// SECDED double-bit error).
+    Uncorrected,
+    /// An error is present but the code could not even detect it (three or
+    /// more flipped bits aliasing to a valid or single-error syndrome).
+    ///
+    /// Undetected corruption is what ultimately surfaces as a *silent data
+    /// corruption* at program level.
+    Undetected,
+}
+
+impl CheckOutcome {
+    /// Returns `true` if the consumer may use the (possibly corrected) data.
+    ///
+    /// ```
+    /// use margins_ecc::CheckOutcome;
+    /// assert!(CheckOutcome::Corrected.is_usable());
+    /// assert!(!CheckOutcome::Uncorrected.is_usable());
+    /// ```
+    #[must_use]
+    pub fn is_usable(self) -> bool {
+        matches!(
+            self,
+            CheckOutcome::Clean | CheckOutcome::Corrected | CheckOutcome::Undetected
+        )
+    }
+
+    /// Returns `true` if hardware would raise any error report (CE or UE).
+    #[must_use]
+    pub fn is_reported(self) -> bool {
+        matches!(self, CheckOutcome::Corrected | CheckOutcome::Uncorrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_usability_matrix() {
+        assert!(CheckOutcome::Clean.is_usable());
+        assert!(CheckOutcome::Corrected.is_usable());
+        assert!(CheckOutcome::Undetected.is_usable());
+        assert!(!CheckOutcome::Uncorrected.is_usable());
+    }
+
+    #[test]
+    fn outcome_reporting_matrix() {
+        assert!(!CheckOutcome::Clean.is_reported());
+        assert!(CheckOutcome::Corrected.is_reported());
+        assert!(CheckOutcome::Uncorrected.is_reported());
+        assert!(!CheckOutcome::Undetected.is_reported());
+    }
+}

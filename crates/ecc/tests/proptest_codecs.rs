@@ -1,0 +1,87 @@
+//! Property-based tests for the parity and SECDED codecs.
+
+use margins_ecc::parity::ParityWord;
+use margins_ecc::secded::{Codeword, Decoded, CODEWORD_BITS, DATA_BITS};
+use margins_ecc::CheckOutcome;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn secded_roundtrip(data in any::<u64>()) {
+        let cw = Codeword::encode(data);
+        prop_assert_eq!(cw.decode(), Decoded::Clean(data));
+        prop_assert_eq!(cw.data_unchecked(), data);
+    }
+
+    #[test]
+    fn secded_corrects_any_single_flip(data in any::<u64>(), pos in 0u32..CODEWORD_BITS) {
+        let bad = Codeword::encode(data).with_flipped_position(pos);
+        match bad.decode() {
+            Decoded::Corrected { data: d, position } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(position, pos);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn secded_detects_any_double_flip(
+        data in any::<u64>(),
+        p1 in 0u32..CODEWORD_BITS,
+        p2 in 0u32..CODEWORD_BITS,
+    ) {
+        prop_assume!(p1 != p2);
+        let bad = Codeword::encode(data)
+            .with_flipped_position(p1)
+            .with_flipped_position(p2);
+        prop_assert_eq!(bad.decode(), Decoded::DoubleError);
+    }
+
+    #[test]
+    fn secded_check_against_is_consistent_with_decode(
+        data in any::<u64>(),
+        flips in proptest::collection::vec(0u32..CODEWORD_BITS, 0..4),
+    ) {
+        let mut cw = Codeword::encode(data);
+        let mut flipped = std::collections::HashSet::new();
+        for f in flips {
+            cw = cw.with_flipped_position(f);
+            if !flipped.insert(f) {
+                flipped.remove(&f);
+            }
+        }
+        let outcome = cw.check_against(data);
+        match flipped.len() {
+            0 => prop_assert_eq!(outcome, CheckOutcome::Clean),
+            1 => prop_assert_eq!(outcome, CheckOutcome::Corrected),
+            2 => prop_assert_eq!(outcome, CheckOutcome::Uncorrected),
+            // ≥3 flips: anything except Clean-with-right-data is acceptable,
+            // but "Clean" must imply wrong data was labelled Undetected.
+            _ => prop_assert!(outcome != CheckOutcome::Clean),
+        }
+    }
+
+    #[test]
+    fn parity_detects_odd_flip_counts(
+        data in any::<u64>(),
+        flips in proptest::collection::vec(0u32..DATA_BITS, 1..6),
+    ) {
+        let mut w = ParityWord::store(data);
+        let mut set = std::collections::HashSet::new();
+        for f in flips {
+            w.flip_data_bit(f);
+            if !set.insert(f) {
+                set.remove(&f);
+            }
+        }
+        let expected = if set.is_empty() {
+            CheckOutcome::Clean
+        } else if set.len() % 2 == 1 {
+            CheckOutcome::Uncorrected
+        } else {
+            CheckOutcome::Undetected
+        };
+        prop_assert_eq!(w.check_against(data), expected);
+    }
+}

@@ -1,0 +1,51 @@
+//! Energy/performance tradeoff analysis — §5 of the paper.
+//!
+//! The X-Gene 2 has a *single* voltage domain for all four PMDs but
+//! *per-PMD* frequencies. System software therefore:
+//!
+//! 1. sets the shared rail to the **maximum** safe Vmin across everything
+//!    currently scheduled ("the predictor sets the voltage according to the
+//!    workload run on the most sensitive PMD"),
+//! 2. can **assign tasks to robust cores first** to lower that maximum
+//!    ([`schedule`]),
+//! 3. can **drop weak PMDs to 1.2 GHz**, whose divided clock regime is safe
+//!    down to 760 mV, trading their performance for a deeper shared rail —
+//!    the staircase of Figure 9 ([`tradeoff`]).
+//!
+//! [`model`] holds the relative power/performance laws behind the paper's
+//! numbers (12.8% / 19.4% / 38.8% / 69.9% savings); [`vmin`] holds the
+//! per-(core, workload) safe-voltage table feeding the [`governor`]; and
+//! [`predictor`] is the §4.4 online flow — a trained severity model
+//! answering "how low may the rail go for this workload under this
+//! severity budget?".
+//!
+//! # Example
+//!
+//! ```
+//! use margins_energy::model::{relative_performance, relative_power, energy_savings};
+//! use margins_sim::{Megahertz, Millivolts};
+//!
+//! // Figure 9, second point: 900 mV with one PMD dropped to 1.2 GHz.
+//! let freqs = [Megahertz::new(2400), Megahertz::new(2400),
+//!              Megahertz::new(2400), Megahertz::new(1200)];
+//! let p = relative_power(Millivolts::new(900), &freqs);
+//! assert!((p - 0.738).abs() < 0.001);
+//! assert!((relative_performance(&freqs) - 0.875).abs() < 1e-12);
+//! assert!((energy_savings(p) - 0.262).abs() < 0.001);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod governor;
+pub mod model;
+pub mod predictor;
+pub mod schedule;
+pub mod tradeoff;
+pub mod vmin;
+
+pub use governor::{Governor, GovernorDecision, Policy};
+pub use predictor::OnlinePredictor;
+pub use schedule::{Assignment, Scheduler};
+pub use tradeoff::{pareto_curve, TradeoffPoint};
+pub use vmin::VminTable;

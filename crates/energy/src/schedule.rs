@@ -1,0 +1,184 @@
+//! Task-to-core scheduling (§5).
+//!
+//! "The predictor … can also guide task scheduling so that tasks are
+//! assigned first to more robust cores to obtain higher power savings."
+//!
+//! Because the shared rail must satisfy the *maximum* Vmin over all
+//! (core, workload) pairs, and per-pair Vmin decomposes approximately into
+//! core offset + workload demand, pairing the most demanding workloads
+//! with the most robust cores minimizes that maximum.
+
+use crate::vmin::VminTable;
+use margins_sim::{CoreId, Millivolts};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The core running the task.
+    pub core: CoreId,
+    /// The workload name.
+    pub workload: String,
+}
+
+/// The robust-first scheduler of §5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scheduler;
+
+impl Scheduler {
+    /// A scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler
+    }
+
+    /// Assigns `workloads` to cores, most demanding workload onto the most
+    /// robust core. Returns `None` when the table lacks the data to rank
+    /// (a workload unknown on every ranked core) or when there are more
+    /// workloads than ranked cores.
+    #[must_use]
+    pub fn assign_robust_first(
+        &self,
+        workloads: &[String],
+        table: &VminTable,
+    ) -> Option<Vec<Assignment>> {
+        let cores = table.cores_by_robustness();
+        if workloads.len() > cores.len() {
+            return None;
+        }
+        // Demand of a workload: its mean Vmin across ranked cores.
+        let mut demands: Vec<(usize, f64)> = Vec::with_capacity(workloads.len());
+        for (i, w) in workloads.iter().enumerate() {
+            let vs: Vec<f64> = cores
+                .iter()
+                .filter_map(|c| table.get(*c, w).map(Millivolts::as_f64))
+                .collect();
+            if vs.is_empty() {
+                return None;
+            }
+            demands.push((i, vs.iter().sum::<f64>() / vs.len() as f64));
+        }
+        demands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demands"));
+        Some(
+            demands
+                .into_iter()
+                .zip(cores)
+                .map(|((i, _), core)| Assignment {
+                    core,
+                    workload: workloads[i].clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// A naive in-order assignment (task k on core k) — the baseline the
+    /// robust-first policy is compared against.
+    #[must_use]
+    pub fn assign_in_order(&self, workloads: &[String]) -> Vec<Assignment> {
+        workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Assignment {
+                core: CoreId::new((i % margins_sim::topology::NUM_CORES) as u8),
+                workload: w.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The binding constraint: the maximum Vmin over all assignments, i.e. the
+/// lowest voltage the shared rail may take with every core at full speed.
+#[must_use]
+pub fn binding_vmin(assignments: &[Assignment], table: &VminTable) -> Option<Millivolts> {
+    assignments
+        .iter()
+        .map(|a| table.get(a.core, &a.workload))
+        .collect::<Option<Vec<_>>>()
+        .map(|vs| vs.into_iter().max().expect("assignments non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic table with additive structure: Vmin = core offset +
+    /// workload demand.
+    fn table() -> VminTable {
+        let mut t = VminTable::new();
+        let offsets = [(0u8, 20u32), (2, 10), (4, 0), (6, 5)];
+        let demands = [("heavy", 900u32), ("mid", 880), ("light", 860)];
+        for (core, off) in offsets {
+            for (w, base) in demands {
+                t.insert(CoreId::new(core), w, Millivolts::new(base + off));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn robust_first_pairs_heavy_with_robust() {
+        let t = table();
+        let workloads: Vec<String> = ["light", "heavy", "mid"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let a = Scheduler::new()
+            .assign_robust_first(&workloads, &t)
+            .unwrap();
+        // Most robust core is 4 (offset 0); it must take "heavy".
+        let heavy = a.iter().find(|x| x.workload == "heavy").unwrap();
+        assert_eq!(heavy.core, CoreId::new(4));
+        // Binding Vmin: heavy@4 = 900, mid@6 = 885, light@2 = 870 → 900.
+        assert_eq!(binding_vmin(&a, &t), Some(Millivolts::new(900)));
+    }
+
+    #[test]
+    fn robust_first_beats_in_order() {
+        let t = table();
+        let workloads: Vec<String> = ["light", "heavy", "mid"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let sched = Scheduler::new();
+        let smart = sched.assign_robust_first(&workloads, &t).unwrap();
+        // Adversarial in-order: heavy lands on the most sensitive core 0.
+        let naive = vec![
+            Assignment {
+                core: CoreId::new(4),
+                workload: "light".into(),
+            },
+            Assignment {
+                core: CoreId::new(0),
+                workload: "heavy".into(),
+            },
+            Assignment {
+                core: CoreId::new(2),
+                workload: "mid".into(),
+            },
+        ];
+        let smart_v = binding_vmin(&smart, &t).unwrap();
+        let naive_v = binding_vmin(&naive, &t).unwrap();
+        assert!(smart_v < naive_v, "{smart_v} vs {naive_v}");
+    }
+
+    #[test]
+    fn too_many_tasks_or_unknown_workloads_fail() {
+        let t = table();
+        let sched = Scheduler::new();
+        let many: Vec<String> = (0..5).map(|i| format!("w{i}")).collect();
+        assert!(sched.assign_robust_first(&many, &t).is_none());
+        assert!(sched
+            .assign_robust_first(&["mystery".to_owned()], &t)
+            .is_none());
+    }
+
+    #[test]
+    fn binding_vmin_requires_complete_table() {
+        let t = table();
+        let a = vec![Assignment {
+            core: CoreId::new(1), // not in table
+            workload: "heavy".into(),
+        }];
+        assert_eq!(binding_vmin(&a, &t), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-(core, workload) safe-voltage table feeding the governor.
+//!
+//! Entries come either from offline characterization (Figure 4 data via
+//! `margins-core`) or from the online §4 prediction models; the governor
+//! does not care which.
+
+use margins_core::regions::CharacterizationResult;
+use margins_sim::{CoreId, Millivolts};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A table of safe Vmin values per (core, workload).
+///
+/// Serializes as a flat list of `{core, workload, vmin}` entries so the
+/// archived artifact is valid JSON (tuple map keys are not).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(into = "Vec<VminEntry>", from = "Vec<VminEntry>")]
+pub struct VminTable {
+    entries: BTreeMap<(u8, String), Millivolts>,
+}
+
+/// The serialized form of one [`VminTable`] entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VminEntry {
+    /// Core index (0–7).
+    pub core: u8,
+    /// Workload name.
+    pub workload: String,
+    /// Safe Vmin.
+    pub vmin: Millivolts,
+}
+
+impl From<VminTable> for Vec<VminEntry> {
+    fn from(table: VminTable) -> Self {
+        table
+            .entries
+            .into_iter()
+            .map(|((core, workload), vmin)| VminEntry {
+                core,
+                workload,
+                vmin,
+            })
+            .collect()
+    }
+}
+
+impl From<Vec<VminEntry>> for VminTable {
+    fn from(entries: Vec<VminEntry>) -> Self {
+        VminTable {
+            entries: entries
+                .into_iter()
+                .map(|e| ((e.core, e.workload), e.vmin))
+                .collect(),
+        }
+    }
+}
+
+impl VminTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        VminTable::default()
+    }
+
+    /// Inserts/overwrites an entry, returning the previous value if any.
+    pub fn insert(
+        &mut self,
+        core: CoreId,
+        workload: impl Into<String>,
+        vmin: Millivolts,
+    ) -> Option<Millivolts> {
+        self.entries
+            .insert((core.index() as u8, workload.into()), vmin)
+    }
+
+    /// Looks an entry up.
+    #[must_use]
+    pub fn get(&self, core: CoreId, workload: &str) -> Option<Millivolts> {
+        self.entries
+            .get(&(core.index() as u8, workload.to_owned()))
+            .copied()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Imports every measured safe Vmin from a characterization result
+    /// (`ref`-dataset entries keyed by benchmark name).
+    #[must_use]
+    pub fn from_characterization(result: &CharacterizationResult) -> Self {
+        let mut table = VminTable::new();
+        for s in &result.summaries {
+            if let Some(v) = s.safe_vmin {
+                table.insert(s.core, s.program.clone(), v);
+            }
+        }
+        table
+    }
+
+    /// Mean Vmin of a core across all its workloads — the robustness
+    /// ranking used by robust-first scheduling (§5). Lower is more robust.
+    #[must_use]
+    pub fn core_mean_vmin(&self, core: CoreId) -> Option<f64> {
+        let values: Vec<f64> = self
+            .entries
+            .iter()
+            .filter(|((c, _), _)| usize::from(*c) == core.index())
+            .map(|(_, v)| v.as_f64())
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Cores present in the table, ordered most-robust first.
+    #[must_use]
+    pub fn cores_by_robustness(&self) -> Vec<CoreId> {
+        let mut cores: Vec<(CoreId, f64)> = CoreId::all()
+            .filter_map(|c| self.core_mean_vmin(c).map(|v| (c, v)))
+            .collect();
+        cores.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("vmins are finite"));
+        cores.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = VminTable::new();
+        assert!(t.is_empty());
+        assert_eq!(
+            t.insert(CoreId::new(0), "bwaves", Millivolts::new(905)),
+            None
+        );
+        assert_eq!(
+            t.insert(CoreId::new(0), "bwaves", Millivolts::new(910)),
+            Some(Millivolts::new(905))
+        );
+        assert_eq!(t.get(CoreId::new(0), "bwaves"), Some(Millivolts::new(910)));
+        assert_eq!(t.get(CoreId::new(1), "bwaves"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn robustness_ranking_orders_by_mean_vmin() {
+        let mut t = VminTable::new();
+        for (core, v) in [(0u8, 905), (4, 880), (2, 895)] {
+            t.insert(CoreId::new(core), "a", Millivolts::new(v));
+            t.insert(CoreId::new(core), "b", Millivolts::new(v - 10));
+        }
+        let order = t.cores_by_robustness();
+        assert_eq!(order, vec![CoreId::new(4), CoreId::new(2), CoreId::new(0)]);
+        assert_eq!(t.core_mean_vmin(CoreId::new(4)), Some(875.0));
+        assert_eq!(t.core_mean_vmin(CoreId::new(7)), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Evaluation metrics of §4: the coefficient of determination R² and the
+//! root-mean-square error.
+
+/// The coefficient of determination R².
+///
+/// "The larger the values of R², the better fit the model provides, while
+/// the best fit exists when R² is equal to 1. The R² can be 0 when the
+/// model predicts the expected value disregarding the input features or
+/// even negative (because the model can be arbitrary worse)." (§4)
+///
+/// Returns `0.0` when the true targets are constant and perfectly
+/// predicted, and `f64::NEG_INFINITY`-free negative values otherwise.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert!(!y_true.is_empty(), "r2 of empty data is undefined");
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    if ss_tot <= 1e-300 {
+        // Constant targets: perfect prediction scores 0 (scikit convention
+        // is 1.0 for exact, 0 otherwise; we follow the conservative 0/neg).
+        if ss_res <= 1e-300 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Root-mean-square error: "the deviation between the predicted values and
+/// the observed values. The smaller the RMSE the more efficient the
+/// prediction model is." (§4)
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert!(!y_true.is_empty(), "rmse of empty data is undefined");
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_scores_zero_r2() {
+        let y = vec![1.0, 2.0, 3.0];
+        let pred = vec![2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arbitrarily_bad_models_go_negative() {
+        let y = vec![1.0, 2.0, 3.0];
+        let pred = vec![100.0, -50.0, 42.0];
+        assert!(r2_score(&y, &pred) < 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let y = vec![0.0, 0.0];
+        let pred = vec![3.0, 4.0];
+        // sqrt((9 + 16)/2) = sqrt(12.5)
+        assert!((rmse(&y, &pred) - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_targets_conventions() {
+        let y = vec![5.0, 5.0, 5.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+        assert_eq!(r2_score(&y, &[5.0, 5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Seeded train/test splitting.
+//!
+//! "For all our experiments, we used the 80% of the population of the
+//! samples as the training set and the rest 20% as the test set." (§4.3)
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test split of row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the training rows.
+    pub train: Vec<usize>,
+    /// Indices of the test rows.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Gathers the training subset of a dataset.
+    #[must_use]
+    pub fn train_of<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        self.train.iter().map(|&i| data[i].clone()).collect()
+    }
+
+    /// Gathers the test subset of a dataset.
+    #[must_use]
+    pub fn test_of<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        self.test.iter().map(|&i| data[i].clone()).collect()
+    }
+}
+
+/// Produces a seeded shuffled split with `train_fraction` of the rows in
+/// the training set (at least one row lands on each side whenever `n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `train_fraction` is outside `(0, 1)`.
+#[must_use]
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> Split {
+    assert!(n > 0, "cannot split an empty dataset");
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be inside (0, 1)"
+    );
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut cut = ((n as f64) * train_fraction).round() as usize;
+    if n >= 2 {
+        cut = cut.clamp(1, n - 1);
+    }
+    let test = indices.split_off(cut);
+    Split {
+        train: indices,
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_split(100, 0.8, 42);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.test.len(), 20);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_and_reproducible() {
+        assert_eq!(train_test_split(50, 0.8, 7), train_test_split(50, 0.8, 7));
+        assert_ne!(train_test_split(50, 0.8, 7), train_test_split(50, 0.8, 8));
+    }
+
+    #[test]
+    fn split_is_shuffled_not_prefix() {
+        let s = train_test_split(100, 0.8, 1);
+        assert_ne!(s.train, (0..80).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_datasets_keep_both_sides_nonempty() {
+        let s = train_test_split(2, 0.8, 0);
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.test.len(), 1);
+        let s = train_test_split(5, 0.9, 0);
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn gather_helpers() {
+        let s = train_test_split(4, 0.5, 3);
+        let data = vec![10, 20, 30, 40];
+        let train = s.train_of(&data);
+        let test = s.test_of(&data);
+        assert_eq!(train.len() + test.len(), 4);
+        let mut all = train;
+        all.extend(test);
+        all.sort_unstable();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_rows_panics() {
+        let _ = train_test_split(0, 0.8, 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The timing-path fault model.
+//!
+//! Every retired micro-op stresses a bundle of critical paths; when the
+//! supply sits below the core's effective critical voltage the op may latch
+//! a wrong value. The per-op failure intensity is
+//!
+//! ```text
+//! λ(op) = w(op) · P0 · exp( −(V − Vcrit − droop − ΔT) / S_MV )
+//! ```
+//!
+//! and faults across a run form a Poisson process, which we sample with the
+//! standard inversion trick: draw a unit-exponential budget, accumulate
+//! per-op intensity, fire when the accumulator crosses the budget. That
+//! costs one add + compare per op and one RNG draw per *fault*, keeping
+//! multi-million-op characterization campaigns fast.
+//!
+//! In the divided clock regime (≤ 1.2 GHz, §3.2) the slack is so large that
+//! no gradual path failures occur; instead the whole chip collapses at a
+//! uniform threshold — exposed here as [`TimingFaultModel::collapse_probability`].
+
+use crate::calib;
+use crate::freq::TimingRegime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Micro-op classes, each with its own path-stress and switching weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are self-describing op kinds
+pub enum OpClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    FpSqrt,
+    Load,
+    Store,
+    Branch,
+    Kernel,
+}
+
+/// Number of op classes.
+pub const NUM_OP_CLASSES: usize = 11;
+
+impl OpClass {
+    /// All op classes in index order.
+    pub const ALL: [OpClass; NUM_OP_CLASSES] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Kernel,
+    ];
+
+    /// Dense index of the class.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Path-stress weight `w(op)`: how hard the op leans on long critical
+    /// paths. FP divide/sqrt exercise the deepest paths (§3.4: SDCs appear
+    /// when the FPU/ALU pipelines are stressed); cache-feeding loads/stores
+    /// barely touch them.
+    ///
+    /// The weights span nearly three decades: the workload-to-workload Vmin
+    /// spread of Figure 4 (~25 mV) is `S_MV · ln(stress-mass ratio)`, so a
+    /// pointer-chasing integer workload must carry orders of magnitude less
+    /// stress per op than an FP-divide-dense one.
+    #[must_use]
+    pub fn stress_weight(self) -> f64 {
+        match self {
+            OpClass::IntAlu => 0.010,
+            OpClass::IntMul => 0.100,
+            OpClass::IntDiv => 0.500,
+            OpClass::FpAdd => 0.500,
+            OpClass::FpMul => 0.700,
+            OpClass::FpDiv => 3.000,
+            OpClass::FpSqrt => 2.000,
+            OpClass::Load => 0.005,
+            OpClass::Store => 0.005,
+            OpClass::Branch => 0.020,
+            OpClass::Kernel => 1.000,
+        }
+    }
+
+    /// Switching-activity weight (feeds droop and dynamic power).
+    #[must_use]
+    pub fn activity_weight(self) -> f64 {
+        match self {
+            OpClass::IntAlu => 0.30,
+            OpClass::IntMul => 0.60,
+            OpClass::IntDiv => 0.50,
+            OpClass::FpAdd => 0.70,
+            OpClass::FpMul => 0.90,
+            OpClass::FpDiv => 0.80,
+            OpClass::FpSqrt => 0.80,
+            OpClass::Load => 0.45,
+            OpClass::Store => 0.45,
+            OpClass::Branch => 0.25,
+            OpClass::Kernel => 0.40,
+        }
+    }
+
+    /// The (SDC, AC, SC) consequence mix of a fault on this op class.
+    #[must_use]
+    pub fn consequence_mix(self) -> (f64, f64, f64) {
+        match self {
+            OpClass::IntAlu
+            | OpClass::IntMul
+            | OpClass::IntDiv
+            | OpClass::FpAdd
+            | OpClass::FpMul
+            | OpClass::FpDiv
+            | OpClass::FpSqrt => calib::ARITH_CONSEQUENCE,
+            OpClass::Load | OpClass::Store => calib::MEM_CONSEQUENCE,
+            OpClass::Branch => calib::BRANCH_CONSEQUENCE,
+            // Kernel-mode faults mostly take the whole system down.
+            OpClass::Kernel => (
+                0.0,
+                1.0 - calib::OS_FAULT_SC_FRACTION,
+                calib::OS_FAULT_SC_FRACTION,
+            ),
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// What a timing fault does to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultConsequence {
+    /// The op's result value latched wrong — a candidate silent data
+    /// corruption if it propagates to program output.
+    CorruptValue,
+    /// An address/control corruption trapped: the application dies (AC).
+    AppCrash,
+    /// Core control state corrupted: the machine hangs (SC).
+    SysCrash,
+}
+
+/// Per-run Poisson sampler of timing faults for one core.
+#[derive(Debug, Clone)]
+pub struct TimingFaultModel {
+    regime: TimingRegime,
+    vcrit_mv: f64,
+    supply_mv: f64,
+    /// Cached per-class intensity at the current (supply, droop).
+    lambda: [f64; NUM_OP_CLASSES],
+    /// Intensity accumulated since the last fault.
+    accum: f64,
+    /// Unit-exponential distance to the next fault.
+    budget: f64,
+    /// Total stress mass accumulated this run (diagnostics / calibration).
+    stress_mass: f64,
+    faults_fired: u32,
+}
+
+impl TimingFaultModel {
+    /// Builds the sampler for a core with critical voltage `vcrit_mv`
+    /// operating in `regime` at `supply_mv`, drawing its first budget from
+    /// `rng`.
+    #[must_use]
+    pub fn new(vcrit_mv: f64, regime: TimingRegime, supply_mv: f64, rng: &mut StdRng) -> Self {
+        let mut model = TimingFaultModel {
+            regime,
+            vcrit_mv,
+            supply_mv,
+            lambda: [0.0; NUM_OP_CLASSES],
+            accum: 0.0,
+            budget: draw_exponential(rng),
+            stress_mass: 0.0,
+            faults_fired: 0,
+        };
+        model.refresh(0.0, 0.0);
+        model
+    }
+
+    /// Recomputes cached intensities for the current droop and thermal
+    /// shift (called at activity-block boundaries).
+    pub fn refresh(&mut self, droop_mv: f64, thermal_shift_mv: f64) {
+        match self.regime {
+            TimingRegime::FullSpeed => {
+                let margin = self.supply_mv - self.vcrit_mv - droop_mv - thermal_shift_mv;
+                // Cap the exponent so intensities stay finite deep in the
+                // crash region.
+                let boost = (-margin / calib::S_MV).min(30.0).exp();
+                for class in OpClass::ALL {
+                    self.lambda[class.index()] = class.stress_weight() * calib::P0 * boost;
+                }
+            }
+            TimingRegime::Divided => {
+                // No gradual path failures in the divided regime; collapse
+                // is sampled at run granularity.
+                self.lambda = [0.0; NUM_OP_CLASSES];
+            }
+        }
+    }
+
+    /// Accounts one executed op; returns the consequence if a fault fires.
+    pub fn on_op(&mut self, class: OpClass, rng: &mut StdRng) -> Option<FaultConsequence> {
+        let lambda = self.lambda[class.index()];
+        self.stress_mass += class.stress_weight();
+        self.accum += lambda;
+        if self.accum < self.budget {
+            return None;
+        }
+        self.accum = 0.0;
+        self.budget = draw_exponential(rng);
+        self.faults_fired += 1;
+        Some(self.sample_consequence(class, rng))
+    }
+
+    /// Accounts a burst of `n` identical ops at once (used for OS/boot
+    /// activity); returns the consequence of the *first* fault inside the
+    /// burst, if any.
+    pub fn on_burst(
+        &mut self,
+        class: OpClass,
+        n: u32,
+        rng: &mut StdRng,
+    ) -> Option<FaultConsequence> {
+        let lambda = self.lambda[class.index()];
+        self.stress_mass += class.stress_weight() * f64::from(n);
+        self.accum += lambda * f64::from(n);
+        if self.accum < self.budget {
+            return None;
+        }
+        self.accum = 0.0;
+        self.budget = draw_exponential(rng);
+        self.faults_fired += 1;
+        Some(self.sample_consequence(class, rng))
+    }
+
+    fn sample_consequence(&self, class: OpClass, rng: &mut StdRng) -> FaultConsequence {
+        let (sdc, ac, _sc) = class.consequence_mix();
+        let u: f64 = rng.gen();
+        if u < sdc {
+            FaultConsequence::CorruptValue
+        } else if u < sdc + ac {
+            FaultConsequence::AppCrash
+        } else {
+            FaultConsequence::SysCrash
+        }
+    }
+
+    /// Probability that the chip collapses outright during a run in the
+    /// divided clock regime (§3.2: crash-only behaviour below 760 mV).
+    /// Zero in the full-speed regime (gradual faults handle it there).
+    #[must_use]
+    pub fn collapse_probability(&self) -> f64 {
+        match self.regime {
+            TimingRegime::FullSpeed => 0.0,
+            TimingRegime::Divided => {
+                let deficit = calib::DIVIDED_COLLAPSE_MV - self.supply_mv;
+                if deficit <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-deficit * calib::DIVIDED_COLLAPSE_STEEPNESS).exp()
+                }
+            }
+        }
+    }
+
+    /// Total stress mass accumulated so far this run.
+    #[must_use]
+    pub fn stress_mass(&self) -> f64 {
+        self.stress_mass
+    }
+
+    /// Number of faults fired so far this run.
+    #[must_use]
+    pub fn faults_fired(&self) -> u32 {
+        self.faults_fired
+    }
+
+    /// The effective critical voltage this model was built with.
+    #[must_use]
+    pub fn vcrit_mv(&self) -> f64 {
+        self.vcrit_mv
+    }
+}
+
+fn draw_exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// Total faults over `seeds` independent runs of `ops` ops each —
+    /// aggregating over seeds keeps these statistical assertions stable.
+    fn count_faults(vcrit: f64, supply: f64, ops: u32, class: OpClass, seeds: u64) -> u32 {
+        let mut faults = 0;
+        for seed in 0..seeds {
+            let mut r = StdRng::seed_from_u64(seed * 1001 + 13);
+            let mut m = TimingFaultModel::new(vcrit, TimingRegime::FullSpeed, supply, &mut r);
+            for _ in 0..ops {
+                if m.on_op(class, &mut r).is_some() {
+                    faults += 1;
+                }
+            }
+        }
+        faults
+    }
+
+    #[test]
+    fn far_above_vcrit_no_faults() {
+        assert_eq!(count_faults(886.0, 980.0, 200_000, OpClass::FpDiv, 5), 0);
+    }
+
+    #[test]
+    fn fault_rate_grows_as_voltage_drops() {
+        let high = count_faults(886.0, 890.0, 100_000, OpClass::FpMul, 10);
+        let low = count_faults(886.0, 870.0, 100_000, OpClass::FpMul, 10);
+        assert!(low > high, "low-V faults {low} vs high-V faults {high}");
+        assert!(low > 0);
+    }
+
+    #[test]
+    fn fault_count_matches_poisson_expectation() {
+        // At V = Vcrit the per-op intensity is w·P0 = 0.5e-6. Over 10 seeds
+        // of 2M FpAdd ops the expectation is 10; check a generous band.
+        let faults = count_faults(886.0, 886.0, 2_000_000, OpClass::FpAdd, 10);
+        assert!((3..=25).contains(&faults), "got {faults}");
+    }
+
+    #[test]
+    fn heavier_op_classes_fault_more() {
+        let light = count_faults(886.0, 876.0, 150_000, OpClass::Load, 8);
+        let heavy = count_faults(886.0, 876.0, 150_000, OpClass::FpDiv, 8);
+        assert!(heavy > light, "FpDiv {heavy} vs Load {light}");
+    }
+
+    #[test]
+    fn burst_equivalent_to_loop_in_expectation() {
+        let mut burst_faults = 0u32;
+        for seed in 0..10 {
+            let mut r1 = StdRng::seed_from_u64(seed * 77 + 5);
+            let mut a = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 880.0, &mut r1);
+            for _ in 0..100 {
+                if a.on_burst(OpClass::Kernel, 1_000, &mut r1).is_some() {
+                    burst_faults += 1;
+                }
+            }
+        }
+        let loop_faults = count_faults(886.0, 880.0, 100_000, OpClass::Kernel, 10);
+        let ratio = f64::from(burst_faults.max(1)) / f64::from(loop_faults.max(1));
+        assert!(
+            ratio > 0.4 && ratio < 2.5,
+            "burst {burst_faults} loop {loop_faults}"
+        );
+    }
+
+    #[test]
+    fn divided_regime_has_no_gradual_faults() {
+        let mut r = rng();
+        let mut m = TimingFaultModel::new(886.0, TimingRegime::Divided, 800.0, &mut r);
+        for _ in 0..500_000 {
+            assert!(m.on_op(OpClass::FpDiv, &mut r).is_none());
+        }
+    }
+
+    #[test]
+    fn divided_collapse_probability_profile() {
+        let mut r = rng();
+        let safe = TimingFaultModel::new(760.0, TimingRegime::Divided, 760.0, &mut r);
+        assert_eq!(safe.collapse_probability(), 0.0);
+        let below = TimingFaultModel::new(760.0, TimingRegime::Divided, 755.0, &mut r);
+        assert!(below.collapse_probability() > 0.99);
+        let full = TimingFaultModel::new(760.0, TimingRegime::FullSpeed, 700.0, &mut r);
+        assert_eq!(full.collapse_probability(), 0.0);
+    }
+
+    #[test]
+    fn droop_raises_fault_rate() {
+        let mut fq = 0u32;
+        let mut fn_ = 0u32;
+        for seed in 0..12 {
+            let mut r1 = StdRng::seed_from_u64(seed * 31 + 1);
+            let mut r2 = StdRng::seed_from_u64(seed * 31 + 2);
+            let mut quiet = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 884.0, &mut r1);
+            let mut noisy = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 884.0, &mut r2);
+            noisy.refresh(calib::DROOP_MAX_MV, 0.0);
+            for _ in 0..120_000 {
+                if quiet.on_op(OpClass::FpAdd, &mut r1).is_some() {
+                    fq += 1;
+                }
+                if noisy.on_op(OpClass::FpAdd, &mut r2).is_some() {
+                    fn_ += 1;
+                }
+            }
+        }
+        assert!(fn_ > fq, "noisy {fn_} vs quiet {fq}");
+    }
+
+    #[test]
+    fn consequence_mix_respected_for_kernel_ops() {
+        let mut r = rng();
+        let mut m = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 830.0, &mut r);
+        let mut sc = 0;
+        let mut total = 0;
+        for _ in 0..400_000 {
+            if let Some(c) = m.on_op(OpClass::Kernel, &mut r) {
+                total += 1;
+                if c == FaultConsequence::SysCrash {
+                    sc += 1;
+                }
+                assert_ne!(c, FaultConsequence::CorruptValue, "kernel faults never SDC");
+            }
+        }
+        assert!(total > 50, "need enough faults, got {total}");
+        let frac = f64::from(sc) / f64::from(total);
+        assert!(
+            (frac - calib::OS_FAULT_SC_FRACTION).abs() < 0.1,
+            "SC fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn stress_mass_accounting() {
+        let mut r = rng();
+        let mut m = TimingFaultModel::new(886.0, TimingRegime::FullSpeed, 980.0, &mut r);
+        for _ in 0..10 {
+            let _ = m.on_op(OpClass::FpDiv, &mut r);
+        }
+        assert!((m.stress_mass() - 30.0).abs() < 1e-9);
+    }
+}

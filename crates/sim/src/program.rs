@@ -1,0 +1,136 @@
+//! The program abstraction executed by the simulated machine.
+//!
+//! A [`Program`] is a workload kernel written against the [`Machine`]
+//! op-level API; running it produces an [`OutputDigest`] — the simulator's
+//! stand-in for "the program output" that the characterization framework
+//! compares against a golden nominal-conditions digest to detect silent
+//! data corruptions (Table 3 of the paper).
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workload kernel runnable on the simulated machine.
+///
+/// Implementors perform their real computation through the [`Machine`] op
+/// API (so every arithmetic op and memory access passes through the fault
+/// injection and counter paths) and fold everything that constitutes
+/// "program output" into the returned digest.
+pub trait Program {
+    /// Stable benchmark name (e.g. `"bwaves"`).
+    fn name(&self) -> &str;
+
+    /// The input-dataset label (`"ref"`, `"train"`, …). Programs with
+    /// multiple datasets return a different label per instance.
+    fn dataset(&self) -> &str {
+        "ref"
+    }
+
+    /// Executes the kernel on `machine` and returns the output digest.
+    ///
+    /// If the machine crashes mid-run the remaining ops short-circuit and
+    /// the digest is meaningless; callers must check the machine status.
+    fn run(&self, machine: &mut Machine<'_>) -> OutputDigest;
+}
+
+/// An order-sensitive FNV-1a style accumulator of program output.
+///
+/// ```
+/// use margins_sim::program::OutputDigest;
+///
+/// let mut a = OutputDigest::new();
+/// a.absorb_u64(1);
+/// a.absorb_f64(2.5);
+/// let mut b = OutputDigest::new();
+/// b.absorb_u64(1);
+/// b.absorb_f64(2.5);
+/// assert_eq!(a, b);
+/// b.absorb_u64(3);
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutputDigest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl OutputDigest {
+    /// A fresh digest.
+    #[must_use]
+    pub fn new() -> Self {
+        OutputDigest(FNV_OFFSET)
+    }
+
+    /// Folds a 64-bit value into the digest.
+    pub fn absorb_u64(&mut self, v: u64) {
+        let mut h = self.0;
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Folds a floating-point value into the digest by bit pattern, so a
+    /// single flipped mantissa bit (or an injected NaN) changes the digest.
+    pub fn absorb_f64(&mut self, v: f64) {
+        self.absorb_u64(v.to_bits());
+    }
+
+    /// The digest value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for OutputDigest {
+    fn default() -> Self {
+        OutputDigest::new()
+    }
+}
+
+impl fmt::Display for OutputDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = OutputDigest::new();
+        a.absorb_u64(1);
+        a.absorb_u64(2);
+        let mut b = OutputDigest::new();
+        b.absorb_u64(2);
+        b.absorb_u64(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digest_detects_single_bit_difference() {
+        let mut a = OutputDigest::new();
+        a.absorb_f64(1.0);
+        let mut b = OutputDigest::new();
+        b.absorb_f64(f64::from_bits(1.0f64.to_bits() ^ 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nan_bit_patterns_are_distinguished() {
+        let mut a = OutputDigest::new();
+        a.absorb_f64(f64::NAN);
+        let mut b = OutputDigest::new();
+        b.absorb_f64(1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_16_hex_digits() {
+        assert_eq!(OutputDigest::new().to_string().len(), 16);
+    }
+}

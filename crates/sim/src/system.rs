@@ -1,0 +1,475 @@
+//! The whole micro-server: chip + supplies + clocks + thermal + error
+//! reporting, with run execution, a heartbeat, and power/reset control.
+//!
+//! This is the boundary the characterization framework drives: it sets
+//! voltages and frequencies through the SLIMpro ([`crate::mgmt`]), executes
+//! benchmark runs, reads the outcome and the EDAC log, and — when the
+//! machine hangs — power-cycles it through the watchdog lines, exactly the
+//! loop of Figure 2 in the paper.
+
+use crate::cache::CacheHierarchy;
+use crate::corner::{ChipSpec, VariationMap};
+use crate::counters::{CounterFile, PmuEvent};
+use crate::edac::EdacLog;
+use crate::freq::{Megahertz, MAX_FREQ};
+use crate::machine::{Machine, MachineParams, MachineStatus};
+use crate::power::{EnergyMeter, OperatingPoint, PowerModel};
+use crate::program::{OutputDigest, Program};
+use crate::thermal::ThermalModel;
+use crate::topology::{CoreId, PmdId, NUM_PMDS};
+use crate::volt::SupplyState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static configuration of the simulated board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Die-temperature setpoint the fan controller regulates to, °C
+    /// (§3.1 uses 43 °C).
+    pub temp_setpoint_c: f64,
+    /// Maximum serial-console lines retained.
+    pub console_capacity: usize,
+    /// §6 hardware enhancements of this chip revision (stock by default).
+    pub enhancements: crate::enhance::Enhancements,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            temp_setpoint_c: crate::calib::TEMP_SETPOINT_C,
+            console_capacity: 256,
+            enhancements: crate::enhance::Enhancements::stock(),
+        }
+    }
+}
+
+/// Outcome of a single benchmark run, before output comparison.
+///
+/// Note that SDC detection is *not* the system's job: like the physical
+/// framework, the caller compares [`RunRecord::digest`] against a golden
+/// nominal-conditions digest (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The process exited normally (output may still mismatch → SDC).
+    Completed,
+    /// The process died abnormally (AC).
+    AppCrashed,
+    /// The machine hung; the watchdog must power-cycle it (SC).
+    SystemCrashed,
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::AppCrashed => "application crash",
+            RunOutcome::SystemCrashed => "system crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything observable about one benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub program: String,
+    /// Input dataset label.
+    pub dataset: String,
+    /// Core the benchmark ran on.
+    pub core: CoreId,
+    /// PMD-rail voltage during the run (mV).
+    pub pmd_mv: u32,
+    /// PCP/SoC-rail voltage during the run (mV).
+    pub soc_mv: u32,
+    /// Frequency of the core's PMD.
+    pub freq: Megahertz,
+    /// Completion status.
+    pub outcome: RunOutcome,
+    /// Output digest (meaningful only for [`RunOutcome::Completed`]).
+    pub digest: OutputDigest,
+    /// Corrected errors reported during the run: EDAC array corrections
+    /// plus (on §6b-enhanced chips) detected-and-retried datapath faults.
+    pub corrected_errors: usize,
+    /// Uncorrected errors reported by EDAC during the run.
+    pub uncorrected_errors: usize,
+    /// Timing faults injected (omniscient-simulator diagnostic).
+    pub timing_faults: u32,
+    /// Silent value corruptions applied (omniscient diagnostic).
+    pub silent_corruptions: u32,
+    /// PMU counters of the run.
+    pub counters: CounterFile,
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Modelled wall-clock runtime, seconds.
+    pub runtime_s: f64,
+    /// Energy drawn by the chip over the run, joules.
+    pub energy_j: f64,
+    /// The run's total timing stress mass (diagnostic).
+    pub stress_mass: f64,
+}
+
+/// Error returned when driving a hung system without power-cycling it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnresponsiveError;
+
+impl fmt::Display for UnresponsiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("system is unresponsive; power-cycle it first")
+    }
+}
+
+impl std::error::Error for UnresponsiveError {}
+
+/// The simulated micro-server.
+pub struct System {
+    pub(crate) spec: ChipSpec,
+    pub(crate) variation: VariationMap,
+    pub(crate) supplies: SupplyState,
+    pub(crate) pmd_freq: [Megahertz; NUM_PMDS],
+    pub(crate) caches: CacheHierarchy,
+    pub(crate) edac: EdacLog,
+    pub(crate) thermal: ThermalModel,
+    pub(crate) power: PowerModel,
+    pub(crate) energy: EnergyMeter,
+    pub(crate) responsive: bool,
+    pub(crate) boot_count: u32,
+    pub(crate) console: Vec<String>,
+    pub(crate) config: SystemConfig,
+}
+
+impl System {
+    /// Powers up a board built around the chip described by `spec`.
+    #[must_use]
+    pub fn new(spec: ChipSpec, config: SystemConfig) -> Self {
+        let mut sys = System {
+            spec,
+            variation: spec.variation(),
+            supplies: SupplyState::nominal(),
+            pmd_freq: [MAX_FREQ; NUM_PMDS],
+            caches: CacheHierarchy::with_protection(spec, config.enhancements.extended_ecc),
+            edac: EdacLog::new(),
+            thermal: ThermalModel::with_setpoint(config.temp_setpoint_c),
+            power: PowerModel::new(spec.corner()),
+            energy: EnergyMeter::new(),
+            responsive: true,
+            boot_count: 1,
+            console: Vec::new(),
+            config,
+        };
+        sys.log_console("boot: firmware handoff, supplies at nominal");
+        sys
+    }
+
+    /// The chip's identity.
+    #[must_use]
+    pub fn spec(&self) -> ChipSpec {
+        self.spec
+    }
+
+    /// The chip's static variation map.
+    #[must_use]
+    pub fn variation(&self) -> &VariationMap {
+        &self.variation
+    }
+
+    /// Current supply state.
+    #[must_use]
+    pub fn supplies(&self) -> SupplyState {
+        self.supplies
+    }
+
+    /// Current frequency of a PMD.
+    #[must_use]
+    pub fn pmd_frequency(&self, pmd: PmdId) -> Megahertz {
+        self.pmd_freq[pmd.index()]
+    }
+
+    /// The heartbeat the external watchdog monitors (§2.2: the Raspberry Pi
+    /// detects an unresponsive board over serial).
+    #[must_use]
+    pub fn is_responsive(&self) -> bool {
+        self.responsive
+    }
+
+    /// Number of boots since construction (diagnostics).
+    #[must_use]
+    pub fn boot_count(&self) -> u32 {
+        self.boot_count
+    }
+
+    /// Cumulative energy meter.
+    #[must_use]
+    pub fn energy_meter(&self) -> EnergyMeter {
+        self.energy
+    }
+
+    /// The retained serial-console tail.
+    #[must_use]
+    pub fn console(&self) -> &[String] {
+        &self.console
+    }
+
+    /// The SLIMpro management-processor interface (voltage/frequency
+    /// regulation, sensor reads, error-report mailbox — §2.1).
+    pub fn slimpro_mut(&mut self) -> crate::mgmt::SlimPro<'_> {
+        crate::mgmt::SlimPro::new(self)
+    }
+
+    /// The PMpro power-management-processor interface (§2.1).
+    pub fn pmpro_mut(&mut self) -> crate::mgmt::PmPro<'_> {
+        crate::mgmt::PmPro::new(self)
+    }
+
+    /// Hard power cycle via the external power lines: everything volatile
+    /// resets, supplies return to nominal, the machine becomes responsive.
+    ///
+    /// This is what the watchdog does after detecting a system crash
+    /// ("recognizes when the system is unresponsive and restores it
+    /// automatically", §2.2).
+    pub fn power_cycle(&mut self) {
+        self.supplies = SupplyState::nominal();
+        self.pmd_freq = [MAX_FREQ; NUM_PMDS];
+        self.caches.reset();
+        self.edac = EdacLog::new();
+        self.responsive = true;
+        self.boot_count += 1;
+        self.log_console("watchdog: power cycle, supplies restored to nominal");
+    }
+
+    /// Warm reset via the reset button: like a power cycle but keeps the
+    /// energy meter semantics identical (provided for completeness; the
+    /// framework uses [`System::power_cycle`]).
+    pub fn reset(&mut self) {
+        self.power_cycle();
+    }
+
+    pub(crate) fn log_console(&mut self, line: &str) {
+        if self.console.len() >= self.config.console_capacity {
+            self.console.remove(0);
+        }
+        self.console.push(line.to_owned());
+    }
+
+    /// Executes `program` on `core` under the current V/F state.
+    ///
+    /// `seed` individualizes the run (campaign iteration); the same
+    /// (system state, program, core, seed) replays identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnresponsiveError`] if the machine is hung; the caller
+    /// (the watchdog) must power-cycle first.
+    pub fn run(
+        &mut self,
+        program: &dyn Program,
+        core: CoreId,
+        seed: u64,
+    ) -> Result<RunRecord, UnresponsiveError> {
+        if !self.responsive {
+            return Err(UnresponsiveError);
+        }
+        let freq = self.pmd_freq[core.pmd().index()];
+        let regime = freq.timing_regime();
+        let params = MachineParams {
+            core,
+            pmd_mv: self.supplies.pmd().as_f64(),
+            soc_mv: self.supplies.soc().as_f64(),
+            regime,
+            vcrit_mv: self.variation.vcrit_mv(core, regime),
+            thermal_shift_mv: self.thermal.vcrit_shift_mv(),
+            seed,
+            enhancements: self.config.enhancements,
+        };
+        let mut machine = Machine::new(params, &mut self.caches, &mut self.edac);
+        machine.boot();
+        let digest = if machine.status() == MachineStatus::Healthy {
+            program.run(&mut machine)
+        } else {
+            OutputDigest::new()
+        };
+        let report = machine.finalize();
+
+        let outcome = match report.status {
+            MachineStatus::Healthy => RunOutcome::Completed,
+            MachineStatus::AppCrashed => RunOutcome::AppCrashed,
+            MachineStatus::SysHung => RunOutcome::SystemCrashed,
+        };
+        if outcome == RunOutcome::SystemCrashed {
+            self.responsive = false;
+            self.log_console("console: <no further output — system hung>");
+        }
+
+        // Energy/thermal accounting over the modelled runtime.
+        let runtime_s = report.cycles as f64 / (freq.as_f64() * 1e6);
+        let mut op = OperatingPoint::idle_nominal();
+        op.pmd_voltage = self.supplies.pmd();
+        op.soc_voltage = self.supplies.soc();
+        op.pmd_freq = self.pmd_freq;
+        op.core_activity[core.index()] = report.mean_activity;
+        let mem_rate = report
+            .counters
+            .rate(PmuEvent::L2DCacheRefill, PmuEvent::InstRetired);
+        op.mem_activity = (mem_rate * 20.0).min(1.0);
+        op.die_temp_c = self.thermal.die_temp_c();
+        let watts = self.power.total_watts(&op);
+        self.energy.accumulate(watts, runtime_s);
+        self.thermal.step(watts, runtime_s.min(1.0));
+
+        let ce = self.edac.corrected_count() + report.detected_faults as usize;
+        let ue = self.edac.uncorrected_count();
+        self.edac.drain();
+
+        Ok(RunRecord {
+            program: program.name().to_owned(),
+            dataset: program.dataset().to_owned(),
+            core,
+            pmd_mv: self.supplies.pmd().get(),
+            soc_mv: self.supplies.soc().get(),
+            freq,
+            outcome,
+            digest,
+            corrected_errors: ce,
+            uncorrected_errors: ue,
+            timing_faults: report.timing_faults,
+            silent_corruptions: report.silent_corruptions,
+            counters: report.counters,
+            cycles: report.cycles,
+            instructions: report.instructions,
+            runtime_s,
+            energy_j: watts * runtime_s,
+            stress_mass: report.stress_mass,
+        })
+    }
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("spec", &self.spec)
+            .field("supplies", &self.supplies)
+            .field("pmd_freq", &self.pmd_freq)
+            .field("responsive", &self.responsive)
+            .field("boot_count", &self.boot_count)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::Corner;
+    use crate::volt::Millivolts;
+
+    struct TinyLoop;
+
+    impl Program for TinyLoop {
+        fn name(&self) -> &str {
+            "tiny-loop"
+        }
+        fn run(&self, m: &mut Machine<'_>) -> OutputDigest {
+            let base = m.alloc(256);
+            for i in 0..256u64 {
+                m.store_f64(base.offset(i), i as f64);
+            }
+            let mut acc = 0.0;
+            for i in 0..256u64 {
+                let v = m.load_f64(base.offset(i));
+                let scaled = m.fmul(v, 3.0);
+                acc = m.fadd(acc, scaled);
+                let _ = m.branch(i % 2 == 0);
+            }
+            let mut d = OutputDigest::new();
+            d.absorb_f64(acc);
+            d
+        }
+    }
+
+    fn sys() -> System {
+        System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default())
+    }
+
+    #[test]
+    fn nominal_run_completes_with_stable_digest() {
+        let mut s = sys();
+        let a = s.run(&TinyLoop, CoreId::new(0), 1).unwrap();
+        let b = s.run(&TinyLoop, CoreId::new(0), 2).unwrap();
+        assert_eq!(a.outcome, RunOutcome::Completed);
+        assert_eq!(a.digest, b.digest, "nominal output must be deterministic");
+        assert_eq!(a.corrected_errors, 0);
+        assert_eq!(a.silent_corruptions, 0);
+        assert!(a.energy_j > 0.0);
+        assert!(a.runtime_s > 0.0);
+    }
+
+    #[test]
+    fn deep_undervolt_eventually_hangs_and_blocks_runs() {
+        let mut s = sys();
+        s.slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(820))
+            .unwrap();
+        let mut hung = false;
+        for seed in 0..20 {
+            match s.run(&TinyLoop, CoreId::new(0), seed) {
+                Ok(r) => {
+                    if r.outcome == RunOutcome::SystemCrashed {
+                        hung = true;
+                        break;
+                    }
+                }
+                Err(UnresponsiveError) => unreachable!("we break on hang"),
+            }
+        }
+        assert!(hung, "820mV at 2.4GHz must hang the TTT chip");
+        assert!(!s.is_responsive());
+        assert_eq!(s.run(&TinyLoop, CoreId::new(0), 99), Err(UnresponsiveError));
+        let boots = s.boot_count();
+        s.power_cycle();
+        assert!(s.is_responsive());
+        assert_eq!(s.boot_count(), boots + 1);
+        // Power cycle restores nominal voltage.
+        assert_eq!(s.supplies().pmd(), crate::volt::PMD_NOMINAL);
+        let r = s.run(&TinyLoop, CoreId::new(0), 123).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn divided_regime_runs_clean_at_760mv() {
+        let mut s = sys();
+        {
+            let mut sp = s.slimpro_mut();
+            for pmd in PmdId::all() {
+                sp.set_pmd_frequency(pmd, Megahertz::new(1200)).unwrap();
+            }
+            sp.set_pmd_voltage(Millivolts::new(760)).unwrap();
+        }
+        for seed in 0..10 {
+            let r = s.run(&TinyLoop, CoreId::new(3), seed).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "seed {seed}");
+            assert_eq!(r.silent_corruptions, 0);
+        }
+    }
+
+    #[test]
+    fn run_record_carries_vf_context() {
+        let mut s = sys();
+        s.slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(940))
+            .unwrap();
+        let r = s.run(&TinyLoop, CoreId::new(5), 0).unwrap();
+        assert_eq!(r.pmd_mv, 940);
+        assert_eq!(r.freq, MAX_FREQ);
+        assert_eq!(r.core, CoreId::new(5));
+        assert_eq!(r.program, "tiny-loop");
+    }
+
+    #[test]
+    fn console_retains_boot_messages() {
+        let mut s = sys();
+        assert!(s.console().iter().any(|l| l.contains("boot")));
+        s.power_cycle();
+        assert!(s.console().iter().any(|l| l.contains("watchdog")));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the simulator substrate.
+
+use margins_sim::cache::{CacheHierarchy, SetAssocCache, WAYS};
+use margins_sim::edac::EdacLog;
+use margins_sim::freq::TimingRegime;
+use margins_sim::machine::{Machine, MachineParams};
+use margins_sim::topology::CacheLevel;
+use margins_sim::volt::SupplyState;
+use margins_sim::{ChipSpec, CoreId, Corner, Enhancements, Millivolts};
+use proptest::prelude::*;
+
+fn params(seed: u64) -> MachineParams {
+    MachineParams {
+        core: CoreId::new(0),
+        pmd_mv: 980.0,
+        soc_mv: 950.0,
+        regime: TimingRegime::FullSpeed,
+        vcrit_mv: 886.0,
+        thermal_shift_mv: 0.0,
+        seed,
+        enhancements: Enhancements::stock(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cache_most_recent_line_always_hits(
+        lines in prop::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let mut cache = SetAssocCache::new(ChipSpec::new(Corner::Ttt, 0), CacheLevel::L1D, 0);
+        for &line in &lines {
+            cache.access(line, false);
+            // An immediate re-access of the same line is always a hit.
+            prop_assert!(cache.access(line, false).hit, "line {line}");
+        }
+    }
+
+    #[test]
+    fn cache_placement_stays_inside_geometry(
+        lines in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut cache = SetAssocCache::new(ChipSpec::new(Corner::Ttt, 0), CacheLevel::L2, 1);
+        for &line in &lines {
+            let a = cache.access(line, line % 2 == 0);
+            prop_assert!(a.set < cache.sets());
+            prop_assert!(a.way < WAYS);
+            prop_assert_eq!(a.set, (line % u64::from(cache.sets())) as u32);
+        }
+    }
+
+    #[test]
+    fn working_set_smaller_than_associativity_never_misses_twice(
+        base in 0u64..1_000_000,
+        count in 1u64..8, // ≤ WAYS distinct lines in distinct sets
+    ) {
+        let mut cache = SetAssocCache::new(ChipSpec::new(Corner::Ttt, 0), CacheLevel::L1D, 0);
+        let lines: Vec<u64> = (0..count).map(|k| base + k).collect();
+        for &l in &lines {
+            cache.access(l, false);
+        }
+        // A second pass over a tiny working set is all hits.
+        for &l in &lines {
+            prop_assert!(cache.access(l, false).hit);
+        }
+    }
+
+    #[test]
+    fn machine_runs_are_deterministic_per_seed(seed in any::<u64>()) {
+        let digest = |seed: u64| {
+            let mut caches = CacheHierarchy::new(ChipSpec::new(Corner::Ttt, 0));
+            let mut edac = EdacLog::new();
+            let mut m = Machine::new(params(seed), &mut caches, &mut edac);
+            let base = m.alloc(64);
+            let mut acc = 0.0f64;
+            for i in 0..64u64 {
+                m.store_f64(base.offset(i), i as f64);
+                let v = m.load_f64(base.offset(i));
+                acc = m.fma(v, 1.5, acc);
+                let _ = m.branch(i % 2 == 0);
+            }
+            (acc.to_bits(), m.finalize().counters)
+        };
+        let (a, ca) = digest(seed);
+        let (b, cb) = digest(seed);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn nominal_machine_output_is_seed_independent(s1 in any::<u64>(), s2 in any::<u64>()) {
+        // At nominal voltage no faults fire, so the computed value cannot
+        // depend on the fault RNG seed.
+        let value = |seed: u64| {
+            let mut caches = CacheHierarchy::new(ChipSpec::new(Corner::Ttt, 0));
+            let mut edac = EdacLog::new();
+            let mut m = Machine::new(params(seed), &mut caches, &mut edac);
+            let mut acc = 1.0f64;
+            for _ in 0..500 {
+                acc = m.fmul(acc, 1.001);
+                acc = m.fadd(acc, 0.01);
+            }
+            acc.to_bits()
+        };
+        prop_assert_eq!(value(s1), value(s2));
+    }
+
+    #[test]
+    fn supply_state_rejects_exactly_offstep_or_above_nominal(mv in 0u32..1100) {
+        let mut s = SupplyState::nominal();
+        let result = s.set_pmd(Millivolts::new(mv));
+        let should_succeed = mv % 5 == 0 && mv <= 980;
+        prop_assert_eq!(result.is_ok(), should_succeed, "{}mV", mv);
+    }
+
+    #[test]
+    fn chip_variation_is_pure(corner_idx in 0u8..3, serial in any::<u64>()) {
+        let corner = [Corner::Ttt, Corner::Tff, Corner::Tss][corner_idx as usize];
+        let a = ChipSpec::new(corner, serial).variation();
+        let b = ChipSpec::new(corner, serial).variation();
+        prop_assert_eq!(&a, &b);
+        // Divided-regime collapse is corner- and serial-independent.
+        prop_assert_eq!(
+            a.vcrit_mv(CoreId::new(3), TimingRegime::Divided).to_bits(),
+            760.0f64.to_bits()
+        );
+    }
+}

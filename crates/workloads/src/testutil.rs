@@ -1,0 +1,28 @@
+//! Shared helpers for kernel unit tests.
+
+use margins_sim::cache::CacheHierarchy;
+use margins_sim::edac::EdacLog;
+use margins_sim::freq::TimingRegime;
+use margins_sim::machine::{MachineParams, MachineStatus};
+use margins_sim::{ChipSpec, CoreId, Corner, Machine, OutputDigest, Program};
+
+/// Runs `p` once at nominal conditions on a fresh TTT chip and returns
+/// (digest, stress mass, final machine status).
+pub(crate) fn nominal_digest(p: &dyn Program) -> (OutputDigest, f64, MachineStatus) {
+    let mut caches = CacheHierarchy::new(ChipSpec::new(Corner::Ttt, 0));
+    let mut edac = EdacLog::new();
+    let params = MachineParams {
+        core: CoreId::new(0),
+        pmd_mv: 980.0,
+        soc_mv: 950.0,
+        regime: TimingRegime::FullSpeed,
+        vcrit_mv: 886.0,
+        thermal_shift_mv: 0.0,
+        seed: 42,
+        enhancements: margins_sim::Enhancements::stock(),
+    };
+    let mut m = Machine::new(params, &mut caches, &mut edac);
+    let d = p.run(&mut m);
+    let rep = m.finalize();
+    (d, rep.stress_mass, rep.status)
+}

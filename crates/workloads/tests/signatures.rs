@@ -1,0 +1,123 @@
+//! Workload signature tests: the prediction study needs the 26 kernels to
+//! have genuinely distinct microarchitectural profiles, and every kernel
+//! must behave like a real program (deterministic golden output, nonzero
+//! fundamental counters).
+
+use margins_sim::{ChipSpec, CoreId, Corner, CounterFile, PmuEvent, System, SystemConfig};
+use margins_workloads::suite;
+
+fn profile_all() -> Vec<(String, String, CounterFile, u64)> {
+    let mut sys = System::new(ChipSpec::new(Corner::Ttt, 0), SystemConfig::default());
+    suite::prediction_suite()
+        .iter()
+        .map(|p| {
+            let r = sys.run(p.as_ref(), CoreId::new(0), 7).expect("responsive");
+            assert_eq!(
+                r.outcome,
+                margins_sim::RunOutcome::Completed,
+                "{} must complete at nominal",
+                p.name()
+            );
+            (
+                p.name().to_owned(),
+                p.dataset().to_owned(),
+                r.counters,
+                r.digest.value(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn all_40_pairs_have_distinct_goldens_and_counter_signatures() {
+    let profiles = profile_all();
+    assert_eq!(profiles.len(), 40);
+
+    // Distinct golden outputs.
+    let mut digests = std::collections::HashSet::new();
+    for (name, dataset, _, digest) in &profiles {
+        assert!(
+            digests.insert(*digest),
+            "{name}/{dataset} shares a golden digest with another pair"
+        );
+    }
+
+    // Pairwise-distinct counter signatures: any two programs must differ by
+    // ≥20% in at least one informative rate.
+    let rates = |c: &CounterFile| {
+        [
+            c.rate(PmuEvent::FpInstRetired, PmuEvent::InstRetired),
+            c.rate(PmuEvent::ReadMemAccess, PmuEvent::InstRetired),
+            c.rate(PmuEvent::CondBrRetired, PmuEvent::InstRetired),
+            c.rate(PmuEvent::L2DCacheRefill, PmuEvent::InstRetired),
+            c.rate(PmuEvent::BrMisPred, PmuEvent::InstRetired),
+            c.get(PmuEvent::InstRetired) as f64,
+        ]
+    };
+    for i in 0..profiles.len() {
+        for j in (i + 1)..profiles.len() {
+            let a = rates(&profiles[i].2);
+            let b = rates(&profiles[j].2);
+            let distinct = a.iter().zip(&b).any(|(x, y)| {
+                let denom = x.abs().max(y.abs());
+                denom > 1e-12 && (x - y).abs() / denom > 0.2
+            });
+            assert!(
+                distinct,
+                "{}/{} and {}/{} have near-identical signatures: {a:?} vs {b:?}",
+                profiles[i].0, profiles[i].1, profiles[j].0, profiles[j].1
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_classes_have_the_expected_counter_character() {
+    let profiles = profile_all();
+    let get = |name: &str| {
+        &profiles
+            .iter()
+            .find(|(n, d, _, _)| n == name && d == "ref")
+            .unwrap()
+            .2
+    };
+    let fp_rate = |c: &CounterFile| c.rate(PmuEvent::FpInstRetired, PmuEvent::InstRetired);
+    let mem_rate = |c: &CounterFile| c.rate(PmuEvent::L2DCacheRefill, PmuEvent::InstRetired);
+
+    // FP stencils are FP-dense; integer codes are not.
+    assert!(fp_rate(get("bwaves")) > 0.3, "bwaves fp rate");
+    assert!(fp_rate(get("leslie3d")) > 0.3);
+    assert!(fp_rate(get("mcf")) < 0.01, "mcf is integer");
+    assert!(fp_rate(get("gcc")) < 0.01);
+
+    // mcf/lbm stream past the L2; namd is table-resident.
+    assert!(mem_rate(get("mcf")) > mem_rate(get("namd")) * 5.0);
+    assert!(mem_rate(get("lbm")) > mem_rate(get("namd")) * 5.0);
+
+    // The big-code kernels take instruction-cache refills.
+    let icache = |c: &CounterFile| c.get(PmuEvent::L1ICacheRefill);
+    assert!(icache(get("xalancbmk")) > icache(get("namd")) * 4);
+    assert!(icache(get("gcc")) > icache(get("namd")) * 4);
+
+    // Data-dependent search branches mispredict more than the skewed
+    // numeric guards of the stencils.
+    let misp = |c: &CounterFile| c.rate(PmuEvent::BrMisPred, PmuEvent::BrRetired);
+    assert!(misp(get("gobmk")) > misp(get("bwaves")));
+}
+
+#[test]
+fn train_datasets_shrink_instruction_counts() {
+    let profiles = profile_all();
+    for name in suite::TRAIN_DATASET_NAMES {
+        let insts = |ds: &str| {
+            profiles
+                .iter()
+                .find(|(n, d, _, _)| n == name && d == ds)
+                .map(|(_, _, c, _)| c.get(PmuEvent::InstRetired))
+                .unwrap()
+        };
+        let (r, t) = (insts("ref"), insts("train"));
+        assert!(t < r, "{name}: train {t} must be smaller than ref {r}");
+        assert!(t * 3 > r, "{name}: but not degenerate ({t} vs {r})");
+    }
+}

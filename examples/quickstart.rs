@@ -1,0 +1,70 @@
+//! Quickstart: characterize one benchmark on two cores of a simulated
+//! X-Gene 2 and print the regions of operation, the safe Vmin and the
+//! severity function.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use voltmargin::characterize::config::CampaignConfig;
+use voltmargin::characterize::regions::analyze;
+use voltmargin::characterize::report;
+use voltmargin::characterize::runner::Campaign;
+use voltmargin::characterize::severity::SeverityWeights;
+use voltmargin::sim::{ChipSpec, CoreId, Corner, Millivolts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Initialization phase (Figure 2 of the paper): declare what to
+    //    characterize. `bwaves` is the paper's highest-stress benchmark;
+    //    core 0 is the most sensitive core, core 4 the most robust.
+    let config = CampaignConfig::builder()
+        .benchmarks(["bwaves"])
+        .cores([CoreId::new(0), CoreId::new(4)])
+        .iterations(10)
+        .start_voltage(Millivolts::new(930))
+        .floor_voltage(Millivolts::new(850))
+        .build()?;
+
+    // 2. Execution phase: the campaign sweeps the shared PMD rail down in
+    //    5 mV steps, 10 runs per step, recovering via the watchdog whenever
+    //    a run hangs the simulated board.
+    let chip = ChipSpec::new(Corner::Ttt, 0);
+    let campaign = Campaign::new(chip, config);
+    let outcome = campaign.execute_parallel(4);
+    println!(
+        "executed {} runs ({} watchdog power cycles)\n",
+        outcome.runs.len(),
+        outcome.watchdog_power_cycles
+    );
+
+    // 3. Parsing phase: classify every run into {NO, SDC, CE, UE, AC, SC},
+    //    derive the safe/unsafe/crash regions and the severity function.
+    let result = analyze(&outcome, &SeverityWeights::paper());
+    print!("{}", report::region_band_text(&result, "bwaves"));
+
+    for core in [CoreId::new(0), CoreId::new(4)] {
+        let summary = result
+            .summary("bwaves", "ref", core)
+            .expect("characterized above");
+        println!("\nbwaves on {core:?}:");
+        println!(
+            "  safe Vmin: {}   guardband: {} mV",
+            summary
+                .safe_vmin
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+            summary
+                .guardband_mv()
+                .map_or_else(|| "-".into(), |g| g.to_string()),
+        );
+        println!("  severity by voltage (unsafe/crash region):");
+        for step in summary.abnormal_steps() {
+            println!(
+                "    {:>4} mV  severity {:>5.1}  [{:?}]",
+                step.mv,
+                step.severity.value(),
+                step.region
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,323 @@
+//! The `voltmargin` command-line tool: characterize a simulated chip,
+//! profile workloads, and plan undervolted operating points — the workflow
+//! a system integrator would run against real silicon, end to end.
+//!
+//! ```text
+//! voltmargin characterize --chip ttt --benchmarks bwaves,mcf --cores 0,4 \
+//!     --iterations 10 --out-dir ./out
+//! voltmargin profile --chip ttt --benchmarks bwaves,mcf --core 0
+//! voltmargin govern --chip ttt --tasks bwaves,leslie3d,milc,namd --max-loss 0.25
+//! voltmargin list-benchmarks
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use voltmargin::characterize::config::{CampaignConfig, SweptRail};
+use voltmargin::characterize::regions::analyze;
+use voltmargin::characterize::report;
+use voltmargin::characterize::runner::{profile, Campaign};
+use voltmargin::characterize::severity::SeverityWeights;
+use voltmargin::energy::schedule::Scheduler;
+use voltmargin::energy::tradeoff::pareto_curve;
+use voltmargin::energy::{Governor, Policy, VminTable};
+use voltmargin::sim::{ChipSpec, CoreId, Corner, Millivolts, PmuEvent};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: voltmargin <command> [options]
+
+commands:
+  characterize   sweep the PMD (or SoC) rail and print/export regions
+  profile        run benchmarks at nominal and print key PMU counters
+  govern         plan undervolted operating points for a task set
+  list-benchmarks
+
+common options:
+  --chip ttt|tff|tss        chip corner (default ttt)
+  --serial N                chip serial (default by corner: 0/1/2)
+  --benchmarks a,b,c        benchmark names (see list-benchmarks)
+  --cores 0,4               target cores (default: all eight)
+  --iterations N            runs per voltage step (default 10)
+  --start MV --floor MV     sweep bounds (default 930 → 840)
+  --rail pmd|soc            which rail to sweep (default pmd)
+  --threads N               worker threads (default 8)
+  --out-dir DIR             also write runs/regions/severity CSV files
+  --tasks a,b,c             (govern) workloads to schedule
+  --max-loss F              (govern) performance-loss budget, e.g. 0.25
+  --seed N                  campaign seed (default 3405691582)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut opts = Options::parse(args)?;
+    match opts.command.as_str() {
+        "characterize" => characterize(&mut opts),
+        "profile" => profile_cmd(&mut opts),
+        "govern" => govern(&mut opts),
+        "list-benchmarks" => {
+            for name in voltmargin::workloads::suite::ALL_NAMES {
+                let train = voltmargin::workloads::suite::TRAIN_DATASET_NAMES.contains(&name);
+                println!("{name}{}", if train { "  (ref, train)" } else { "  (ref)" });
+            }
+            println!("selftest-alu  selftest-fpu  selftest-l1d  selftest-l2  selftest-l3");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+struct Options {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter();
+        let command = it.next().ok_or("missing command")?.clone();
+        let mut flags = BTreeMap::new();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_owned(), value.clone());
+        }
+        Ok(Options { command, flags })
+    }
+
+    fn chip(&self) -> Result<ChipSpec, String> {
+        let corner = match self.flags.get("chip").map(String::as_str).unwrap_or("ttt") {
+            "ttt" => Corner::Ttt,
+            "tff" => Corner::Tff,
+            "tss" => Corner::Tss,
+            other => return Err(format!("unknown chip '{other}' (ttt|tff|tss)")),
+        };
+        let default_serial = match corner {
+            Corner::Ttt => 0,
+            Corner::Tff => 1,
+            Corner::Tss => 2,
+        };
+        let serial = self.parse_num("serial", default_serial)?;
+        Ok(ChipSpec::new(corner, serial))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value '{v}'")),
+        }
+    }
+
+    fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.flags
+            .get(key)
+            .map(|v| v.split(',').map(str::trim).map(str::to_owned).collect())
+    }
+
+    fn cores(&self) -> Result<Vec<CoreId>, String> {
+        match self.list("cores") {
+            None => Ok(CoreId::all().collect()),
+            Some(ids) => ids
+                .iter()
+                .map(|s| {
+                    s.parse::<u8>()
+                        .map_err(|_| format!("--cores: bad core '{s}'"))
+                        .and_then(|i| {
+                            if usize::from(i) < voltmargin::sim::topology::NUM_CORES {
+                                Ok(CoreId::new(i))
+                            } else {
+                                Err(format!("--cores: core {i} out of range"))
+                            }
+                        })
+                })
+                .collect(),
+        }
+    }
+
+    fn benchmarks(&self) -> Result<Vec<String>, String> {
+        self.list("benchmarks")
+            .ok_or_else(|| "--benchmarks is required".to_owned())
+    }
+}
+
+fn build_config(opts: &Options) -> Result<CampaignConfig, String> {
+    let rail = match opts.flags.get("rail").map(String::as_str).unwrap_or("pmd") {
+        "pmd" => SweptRail::Pmd,
+        "soc" => SweptRail::PcpSoc,
+        other => return Err(format!("unknown rail '{other}' (pmd|soc)")),
+    };
+    let default_start = if rail == SweptRail::Pmd { 930 } else { 900 };
+    let default_floor = if rail == SweptRail::Pmd { 840 } else { 710 };
+    CampaignConfig::builder()
+        .benchmarks(opts.benchmarks()?)
+        .cores(opts.cores()?)
+        .iterations(opts.parse_num("iterations", 10u32)?)
+        .start_voltage(Millivolts::new(opts.parse_num("start", default_start)?))
+        .floor_voltage(Millivolts::new(opts.parse_num("floor", default_floor)?))
+        .rail(rail)
+        .seed(opts.parse_num("seed", 0xCAFE_BABEu64)?)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn characterize(opts: &mut Options) -> Result<(), String> {
+    let spec = opts.chip()?;
+    let config = build_config(opts)?;
+    let threads = opts.parse_num("threads", 8usize)?;
+    eprintln!(
+        "characterizing {spec}: {} benchmarks × {} cores × {} steps × {} iterations…",
+        config.benchmarks.len(),
+        config.cores.len(),
+        config.step_count(),
+        config.iterations
+    );
+    let outcome = Campaign::new(spec, config).execute_parallel(threads);
+    let result = analyze(&outcome, &SeverityWeights::paper());
+
+    // Region bands per benchmark.
+    let mut names: Vec<String> = result.summaries.iter().map(|s| s.program.clone()).collect();
+    names.dedup();
+    for name in names {
+        print!("{}", report::region_band_text(&result, &name));
+    }
+    println!(
+        "watchdog power cycles: {}   total runs: {}",
+        outcome.watchdog_power_cycles,
+        outcome.runs.len()
+    );
+
+    if let Some(dir) = opts.flags.get("out-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--out-dir: {e}"))?;
+        let write = |file: &str, data: String| {
+            std::fs::write(format!("{dir}/{file}"), data).map_err(|e| format!("{file}: {e}"))
+        };
+        write("runs.csv", report::runs_csv(&outcome))?;
+        write("regions.csv", report::regions_csv(&result))?;
+        write("severity.csv", report::severity_csv(&result))?;
+        eprintln!("wrote {dir}/runs.csv, regions.csv, severity.csv");
+    }
+    Ok(())
+}
+
+fn profile_cmd(opts: &mut Options) -> Result<(), String> {
+    let spec = opts.chip()?;
+    let core = opts
+        .cores()?
+        .first()
+        .copied()
+        .ok_or("--cores must name at least one core")?;
+    let benchmarks: Vec<_> = opts
+        .benchmarks()?
+        .into_iter()
+        .map(|name| voltmargin::characterize::config::BenchmarkRef {
+            name,
+            dataset: voltmargin::workloads::Dataset::Ref,
+        })
+        .collect();
+    let profiles = profile(spec, &benchmarks, core);
+    let shown = [
+        PmuEvent::InstRetired,
+        PmuEvent::CpuCycles,
+        PmuEvent::FpInstRetired,
+        PmuEvent::FpDivRetired,
+        PmuEvent::ReadMemAccess,
+        PmuEvent::L2DCacheRefill,
+        PmuEvent::BrMisPred,
+        PmuEvent::DispatchStallCycles,
+        PmuEvent::ExcTaken,
+    ];
+    print!("{:<12}{:>10}", "benchmark", "golden");
+    for e in shown {
+        print!("{:>22}", e.label());
+    }
+    println!();
+    for p in &profiles {
+        print!("{:<12}{:>10.10}", p.name, p.golden.to_string());
+        for e in shown {
+            print!("{:>22}", p.counters.get(e));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn govern(opts: &mut Options) -> Result<(), String> {
+    let spec = opts.chip()?;
+    let tasks = opts
+        .list("tasks")
+        .ok_or_else(|| "--tasks is required".to_owned())?;
+    let max_loss: f64 = opts.parse_num("max-loss", 0.0)?;
+    let threads = opts.parse_num("threads", 8usize)?;
+
+    // Characterize exactly the requested tasks on all cores.
+    let config = CampaignConfig::builder()
+        .benchmarks(tasks.clone())
+        .cores(CoreId::all())
+        .iterations(opts.parse_num("iterations", 5u32)?)
+        .start_voltage(Millivolts::new(opts.parse_num("start", 935)?))
+        .floor_voltage(Millivolts::new(opts.parse_num("floor", 845)?))
+        .seed(opts.parse_num("seed", 0x60_0Du64)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    eprintln!("characterizing {spec} for {} tasks…", tasks.len());
+    let outcome = Campaign::new(spec, config).execute_parallel(threads);
+    let table = VminTable::from_characterization(&analyze(&outcome, &SeverityWeights::paper()));
+
+    let assignments = Scheduler::new()
+        .assign_robust_first(&tasks, &table)
+        .ok_or("characterization did not cover every task")?;
+    println!("robust-first schedule:");
+    for a in &assignments {
+        let vmin = table
+            .get(a.core, &a.workload)
+            .map_or_else(|| "-".into(), |v| v.to_string());
+        println!(
+            "  {:<12} → core{} (Vmin {vmin})",
+            a.workload,
+            a.core.index()
+        );
+    }
+
+    println!("\nstaircase:");
+    for p in pareto_curve(&assignments, &table).ok_or("incomplete table")? {
+        println!(
+            "  {:<24}{:>7}  power {:>5.1}%  perf {:>5.1}%  savings {:>5.1}%",
+            p.label,
+            p.voltage.to_string(),
+            p.relative_power * 100.0,
+            p.relative_performance * 100.0,
+            p.energy_savings * 100.0
+        );
+    }
+
+    let governor = Governor::new(
+        table,
+        Policy {
+            guardband_steps: 1,
+            max_performance_loss: max_loss,
+        },
+    );
+    let decision = governor
+        .decide(&assignments)
+        .ok_or("governor could not produce a decision")?;
+    println!(
+        "\ndecision (≤{:.0}% loss, 1-step guardband): {} @ {:?} MHz → {:.1}% savings",
+        max_loss * 100.0,
+        decision.voltage,
+        decision.freqs.map(voltmargin::sim::Megahertz::get),
+        decision.energy_savings * 100.0
+    );
+    Ok(())
+}

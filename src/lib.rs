@@ -1,0 +1,40 @@
+//! # voltmargin
+//!
+//! A comprehensive reproduction of *"Harnessing Voltage Margins for Energy
+//! Efficiency in Multicore CPUs"* (Papadimitriou et al., MICRO-50 2017) as a
+//! Rust workspace: a behavioural X-Gene 2 class chip simulator, SPEC-like
+//! workload kernels, the automated voltage-margin characterization framework
+//! (severity function, regions of operation), linear-regression prediction
+//! and energy/performance tradeoff analysis.
+//!
+//! This umbrella crate re-exports every sub-crate under a stable name:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`ecc`] | `margins-ecc` | parity + SECDED(72,64) codecs |
+//! | [`sim`] | `margins-sim` | the simulated micro-server substrate |
+//! | [`workloads`] | `margins-workloads` | SPEC-like kernels + self-tests |
+//! | [`characterize`] | `margins-core` | the characterization framework |
+//! | [`predict`] | `margins-predict` | OLS / RFE / metrics |
+//! | [`energy`] | `margins-energy` | power model, governor, tradeoffs |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end campaign; the shortest
+//! possible tour is:
+//!
+//! ```
+//! use voltmargin::sim::{ChipSpec, Corner};
+//!
+//! let spec = ChipSpec::new(Corner::Ttt, 1);
+//! assert_eq!(spec.corner(), Corner::Ttt);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use margins_core as characterize;
+pub use margins_ecc as ecc;
+pub use margins_energy as energy;
+pub use margins_predict as predict;
+pub use margins_sim as sim;
+pub use margins_workloads as workloads;

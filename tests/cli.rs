@@ -1,0 +1,88 @@
+//! End-to-end tests of the `voltmargin` command-line tool.
+
+use std::process::Command;
+
+fn voltmargin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_voltmargin"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_benchmarks_names_the_whole_suite() {
+    let out = voltmargin(&["list-benchmarks"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in voltmargin::workloads::suite::ALL_NAMES {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+    assert!(stdout.contains("selftest-fpu"));
+}
+
+#[test]
+fn characterize_writes_csv_artifacts() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-cli-{}", std::process::id()));
+    let out = voltmargin(&[
+        "characterize",
+        "--benchmarks",
+        "namd",
+        "--cores",
+        "4",
+        "--iterations",
+        "2",
+        "--start",
+        "890",
+        "--floor",
+        "875",
+        "--threads",
+        "2",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("namd"));
+    assert!(stdout.contains("vmin="));
+    for file in ["runs.csv", "regions.csv", "severity.csv"] {
+        let path = dir.join(file);
+        let data = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(data.lines().count() > 1, "{file} has rows");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = voltmargin(&["explode"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage: voltmargin"));
+
+    let out = voltmargin(&["characterize"]); // missing --benchmarks
+    assert!(!out.status.success());
+
+    let out = voltmargin(&["characterize", "--benchmarks", "nosuch"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown benchmark"));
+}
+
+#[test]
+fn profile_prints_counter_columns() {
+    let out = voltmargin(&["profile", "--benchmarks", "namd,mcf", "--cores", "0"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("INST_RETIRED"));
+    assert!(stdout.contains("namd"));
+    assert!(stdout.contains("mcf"));
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants across the public API.
+
+use proptest::prelude::*;
+use voltmargin::characterize::effect::{Effect, EffectSet};
+use voltmargin::characterize::regions::RegionKind;
+use voltmargin::characterize::severity::SeverityWeights;
+use voltmargin::predict::{r2_score, train_test_split, LinearRegression};
+use voltmargin::sim::Millivolts;
+
+fn arb_effect() -> impl Strategy<Value = Effect> {
+    prop::sample::select(vec![
+        Effect::No,
+        Effect::Sdc,
+        Effect::Ce,
+        Effect::Ue,
+        Effect::Ac,
+        Effect::Sc,
+    ])
+}
+
+fn arb_effect_set() -> impl Strategy<Value = EffectSet> {
+    prop::collection::vec(arb_effect(), 0..4).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn severity_is_bounded_by_weights(runs in prop::collection::vec(arb_effect_set(), 1..20)) {
+        let w = SeverityWeights::paper();
+        let s = w.severity(&runs).value();
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= w.max_severity());
+    }
+
+    #[test]
+    fn severity_never_decreases_when_a_run_gets_worse(
+        mut runs in prop::collection::vec(arb_effect_set(), 1..15),
+        idx in 0usize..15,
+        extra in arb_effect(),
+    ) {
+        let w = SeverityWeights::paper();
+        let before = w.severity(&runs).value();
+        let i = idx % runs.len();
+        let mut worse = runs[i];
+        worse.insert(extra);
+        runs[i] = worse;
+        let after = w.severity(&runs).value();
+        prop_assert!(after + 1e-12 >= before);
+    }
+
+    #[test]
+    fn severity_is_permutation_invariant(runs in prop::collection::vec(arb_effect_set(), 1..15)) {
+        let w = SeverityWeights::paper();
+        let forward = w.severity(&runs).value();
+        let mut reversed = runs.clone();
+        reversed.reverse();
+        prop_assert!((w.severity(&reversed).value() - forward).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_classification_is_monotone(runs in prop::collection::vec(arb_effect_set(), 1..12)) {
+        // Adding an SC run always yields Crash; adding any abnormal run
+        // never moves the region towards Safe.
+        let before = RegionKind::of_runs(runs.iter());
+        let mut with_sc = runs.clone();
+        with_sc.push(EffectSet::of(Effect::Sc));
+        prop_assert_eq!(RegionKind::of_runs(with_sc.iter()), RegionKind::Crash);
+        let mut with_sdc = runs;
+        with_sdc.push(EffectSet::of(Effect::Sdc));
+        let after = RegionKind::of_runs(with_sdc.iter());
+        let holds = match (before, after) {
+            (RegionKind::Crash, x) => x == RegionKind::Crash,
+            (_, RegionKind::Safe) => false,
+            _ => true,
+        };
+        prop_assert!(holds);
+    }
+
+    #[test]
+    fn effect_set_union_is_commutative_and_idempotent(a in arb_effect_set(), b in arb_effect_set()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(a), a);
+        // Union only grows.
+        for e in a.iter() {
+            prop_assert!(a.union(b).contains(e));
+        }
+    }
+
+    #[test]
+    fn millivolt_step_arithmetic_roundtrips(base in 100u32..2000, steps in 0u32..50) {
+        let v = Millivolts::new(base * 5);
+        prop_assert_eq!(v.down_steps(steps).up_steps(steps), v);
+        prop_assert!(v.down_steps(steps) <= v);
+    }
+
+    #[test]
+    fn split_is_always_a_partition(n in 2usize..200, seed in any::<u64>()) {
+        let s = train_test_split(n, 0.8, seed);
+        prop_assert!(!s.train.is_empty());
+        prop_assert!(!s.test.is_empty());
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ols_training_fit_is_at_least_as_good_as_the_mean(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 8..40),
+        coefs in prop::collection::vec(-5.0f64..5.0, 3),
+        noise_seed in any::<u64>(),
+    ) {
+        // On its own training data, ridge-OLS explains at least (almost) as
+        // much variance as the constant mean predictor.
+        let mut lcg = noise_seed | 1;
+        let mut noise = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((lcg >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(&coefs).map(|(x, c)| x * c).sum::<f64>() + noise())
+            .collect();
+        let model = LinearRegression::fit(&rows, &y).unwrap();
+        let pred = model.predict_many(&rows);
+        prop_assert!(r2_score(&y, &pred) >= -1e-6);
+    }
+}

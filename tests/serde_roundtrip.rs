@@ -1,0 +1,58 @@
+//! Serde round-trips of the externally visible result types: campaign
+//! configurations and characterization results must survive
+//! serialize → deserialize unchanged (they are the artifacts a user would
+//! archive from a six-month campaign, §3.2).
+
+use voltmargin::characterize::config::CampaignConfig;
+use voltmargin::characterize::regions::{analyze, CharacterizationResult};
+use voltmargin::characterize::runner::Campaign;
+use voltmargin::characterize::severity::SeverityWeights;
+use voltmargin::energy::VminTable;
+use voltmargin::sim::{ChipSpec, CoreId, Corner, Millivolts};
+
+fn small_result() -> (CampaignConfig, CharacterizationResult) {
+    let cfg = CampaignConfig::builder()
+        .benchmarks(["namd"])
+        .cores([CoreId::new(4)])
+        .iterations(2)
+        .start_voltage(Millivolts::new(890))
+        .floor_voltage(Millivolts::new(870))
+        .seed(0x5E)
+        .build()
+        .unwrap();
+    let outcome = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg.clone()).execute();
+    (cfg, analyze(&outcome, &SeverityWeights::paper()))
+}
+
+#[test]
+fn campaign_config_roundtrips_through_json() {
+    let (cfg, _) = small_result();
+    let json = serde_json::to_string(&cfg).expect("config serializes");
+    let back: CampaignConfig = serde_json::from_str(&json).expect("config deserializes");
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn characterization_result_roundtrips_through_json() {
+    let (_, result) = small_result();
+    let json = serde_json::to_string(&result).expect("result serializes");
+    let back: CharacterizationResult = serde_json::from_str(&json).expect("result deserializes");
+    assert_eq!(result, back);
+    // The archived artifact still answers queries.
+    assert_eq!(
+        back.summary("namd", "ref", CoreId::new(4))
+            .and_then(|s| s.safe_vmin),
+        result
+            .summary("namd", "ref", CoreId::new(4))
+            .and_then(|s| s.safe_vmin),
+    );
+}
+
+#[test]
+fn vmin_table_roundtrips_through_json() {
+    let (_, result) = small_result();
+    let table = VminTable::from_characterization(&result);
+    let json = serde_json::to_string(&table).expect("table serializes");
+    let back: VminTable = serde_json::from_str(&json).expect("table deserializes");
+    assert_eq!(table, back);
+}
