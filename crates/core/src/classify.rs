@@ -6,7 +6,7 @@
 //! at nominal conditions, not an oracle of the fault injector.
 
 use crate::effect::{Effect, EffectSet};
-use margins_sim::{CoreId, CounterFile};
+use margins_sim::{CoreId, CounterFile, Millivolts};
 use margins_sim::{Megahertz, OutputDigest, RunOutcome, RunRecord};
 use serde::{Deserialize, Serialize};
 
@@ -19,10 +19,10 @@ pub struct ClassifiedRun {
     pub dataset: String,
     /// Core the benchmark was pinned to.
     pub core: CoreId,
-    /// PMD-rail voltage of the run (mV).
-    pub pmd_mv: u32,
-    /// PCP/SoC-rail voltage of the run (mV).
-    pub soc_mv: u32,
+    /// PMD-rail voltage of the run.
+    pub pmd_mv: Millivolts,
+    /// PCP/SoC-rail voltage of the run.
+    pub soc_mv: Millivolts,
     /// PMD clock of the target core.
     pub freq: Megahertz,
     /// Iteration index within the campaign (0-based).
@@ -45,7 +45,7 @@ impl ClassifiedRun {
     /// The voltage of the rail a campaign swept (the step key of the
     /// regions analysis).
     #[must_use]
-    pub fn swept_mv(&self, rail: crate::config::SweptRail) -> u32 {
+    pub fn swept_mv(&self, rail: crate::config::SweptRail) -> Millivolts {
         match rail {
             crate::config::SweptRail::Pmd => self.pmd_mv,
             crate::config::SweptRail::PcpSoc => self.soc_mv,
@@ -125,8 +125,8 @@ mod tests {
             program: "demo".into(),
             dataset: "ref".into(),
             core: CoreId::new(0),
-            pmd_mv: 900,
-            soc_mv: 950,
+            pmd_mv: Millivolts::new(900),
+            soc_mv: Millivolts::new(950),
             freq: Megahertz::new(2400),
             outcome,
             digest,
@@ -201,7 +201,7 @@ mod tests {
         let r = record(RunOutcome::Completed, 1, 1, 0);
         let c = classify_run(&r, Some(golden()), 7, false);
         assert_eq!(c.iteration, 7);
-        assert_eq!(c.pmd_mv, 900);
+        assert_eq!(c.pmd_mv, Millivolts::new(900));
         assert_eq!(c.corrected_errors, 1);
         assert!(c.counters.is_none());
         let c = classify_run(&r, Some(golden()), 7, true);

@@ -178,7 +178,7 @@ pub fn analyze(outcome: &CampaignOutcome, weights: &SeverityWeights) -> Characte
     // Group runs by (program, dataset, core) then by voltage (descending).
     type Key = (String, String, CoreId);
     let rail = outcome.config.rail;
-    let mut grouped: BTreeMap<Key, BTreeMap<std::cmp::Reverse<u32>, Vec<&ClassifiedRun>>> =
+    let mut grouped: BTreeMap<Key, BTreeMap<std::cmp::Reverse<Millivolts>, Vec<&ClassifiedRun>>> =
         BTreeMap::new();
     for run in &outcome.runs {
         grouped
@@ -203,7 +203,7 @@ pub fn analyze(outcome: &CampaignOutcome, weights: &SeverityWeights) -> Characte
             let severity = weights.severity(sets.iter());
             let region = RegionKind::of_runs(sets.iter());
             steps.push(StepStats {
-                mv: *mv,
+                mv: mv.get(),
                 effect_sets: sets,
                 severity,
                 region,

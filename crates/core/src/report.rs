@@ -24,8 +24,8 @@ pub fn runs_csv(outcome: &CampaignOutcome) -> String {
             r.program,
             r.dataset,
             r.core.index(),
-            r.pmd_mv,
-            r.soc_mv,
+            r.pmd_mv.get(),
+            r.soc_mv.get(),
             r.freq.get(),
             r.iteration,
             r.effects,

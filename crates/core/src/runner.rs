@@ -15,7 +15,7 @@ use crate::watchdog::Watchdog;
 use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
 use margins_sim::{ChipSpec, CoreId, CounterFile, OutputDigest, PmdId, System, SystemConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A characterization campaign: one chip, one configuration.
 #[derive(Debug, Clone)]
@@ -34,7 +34,7 @@ pub struct CampaignOutcome {
     /// All classified runs, ordered by (benchmark, core, voltage ↓, iter).
     pub runs: Vec<ClassifiedRun>,
     /// Golden digests per (benchmark, dataset).
-    pub goldens: HashMap<(String, String), OutputDigest>,
+    pub goldens: BTreeMap<(String, String), OutputDigest>,
     /// Watchdog recoveries performed during the campaign.
     pub watchdog_power_cycles: u32,
 }
@@ -94,14 +94,16 @@ impl Campaign {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(no-panic) — a panicked worker already lost campaign data
                     .map(|h| h.join().expect("campaign worker panicked"))
                     .collect()
             })
+            // lint: allow(no-panic) — scope error only surfaces worker panics
             .expect("campaign scope panicked")
         };
 
         let mut runs = Vec::new();
-        let mut goldens = HashMap::new();
+        let mut goldens = BTreeMap::new();
         let mut power_cycles = 0;
         for shard in shard_results {
             runs.extend(shard.runs);
@@ -164,6 +166,7 @@ impl Campaign {
         core: CoreId,
     ) -> SweepRuns {
         let program = margins_workloads::suite::by_name(&bench.name, bench.dataset)
+            // lint: allow(no-panic) — benchmark names validated at config build time
             .expect("benchmark validated at config build time");
 
         watchdog.ensure_responsive(system);
@@ -180,6 +183,7 @@ impl Campaign {
         );
         let golden_record = system
             .run(program.as_ref(), core, golden_seed)
+            // lint: allow(no-panic) — watchdog.ensure_responsive() ran just above
             .expect("system responsive after watchdog check");
         assert_eq!(
             golden_record.outcome,
@@ -208,6 +212,7 @@ impl Campaign {
                 );
                 let record = system
                     .run(program.as_ref(), core, seed)
+                    // lint: allow(no-panic) — watchdog.ensure_responsive() ran this iteration
                     .expect("ensured responsive before the run");
                 // Safe data collection: restore nominal before persisting
                 // the log (§2.2.1) — only possible if the board survived.
@@ -244,9 +249,11 @@ impl Campaign {
         match self.config.rail {
             SweptRail::Pmd => slimpro
                 .set_pmd_voltage(voltage)
+                // lint: allow(no-panic) — sweep grid validated at config build time
                 .expect("sweep voltages validated at config build time"),
             SweptRail::PcpSoc => slimpro
                 .set_soc_voltage(voltage)
+                // lint: allow(no-panic) — sweep grid validated at config build time
                 .expect("sweep voltages validated at config build time"),
         }
     }
@@ -256,9 +263,11 @@ impl Campaign {
         match self.config.rail {
             SweptRail::Pmd => slimpro
                 .set_pmd_voltage(PMD_NOMINAL)
+                // lint: allow(no-panic) — nominal is on-grid by construction
                 .expect("nominal is always valid"),
             SweptRail::PcpSoc => slimpro
                 .set_soc_voltage(SOC_NOMINAL)
+                // lint: allow(no-panic) — nominal is on-grid by construction
                 .expect("nominal is always valid"),
         }
     }
@@ -275,6 +284,7 @@ impl Campaign {
             };
             slimpro
                 .set_pmd_frequency(pmd, f)
+                // lint: allow(no-panic) — frequencies validated at config build time
                 .expect("frequencies validated at config build time");
         }
     }
@@ -372,7 +382,7 @@ impl std::error::Error for MergeError {}
 #[derive(Default)]
 struct ShardResult {
     runs: Vec<ClassifiedRun>,
-    goldens: HashMap<(String, String), OutputDigest>,
+    goldens: BTreeMap<(String, String), OutputDigest>,
     power_cycles: u32,
 }
 
@@ -412,6 +422,7 @@ pub fn profile(spec: ChipSpec, benchmarks: &[BenchmarkRef], core: CoreId) -> Vec
                 .unwrap_or_else(|| panic!("unknown benchmark '{}'", b.name));
             let record = system
                 .run(program.as_ref(), core, 0x0090_F11E)
+                // lint: allow(no-panic) — a fresh system at nominal V/F is responsive
                 .expect("nominal profiling never crashes the board");
             WorkloadProfile {
                 name: b.name.clone(),
@@ -483,7 +494,8 @@ mod tests {
             "watchdog must have recovered"
         );
         // The early-stop keeps the sweep from sweeping all 11 steps blindly.
-        let swept: std::collections::BTreeSet<u32> = out.runs.iter().map(|r| r.pmd_mv).collect();
+        let swept: std::collections::BTreeSet<Millivolts> =
+            out.runs.iter().map(|r| r.pmd_mv).collect();
         assert!(swept.len() <= 11);
     }
 
@@ -498,7 +510,7 @@ mod tests {
         assert!(out
             .runs
             .iter()
-            .filter(|r| r.pmd_mv == 915)
+            .filter(|r| r.pmd_mv == Millivolts::new(915))
             .all(|r| r.effects.is_normal()));
     }
 
@@ -524,7 +536,7 @@ mod tests {
             assert_eq!(a.iteration, b.iteration);
             assert_eq!(
                 a.effects, b.effects,
-                "{} {} {}mV",
+                "{} {} {}",
                 a.program, a.core, a.pmd_mv
             );
         }

@@ -1,0 +1,82 @@
+//! Fixed-seed campaigns must be bit-for-bit reproducible.
+//!
+//! The margins-lint rules (no unseeded RNG, no hash-ordered iteration, no
+//! wall-clock reads in the deterministic path) exist to keep this property
+//! true; this test is the end-to-end check: two executions of the same
+//! campaign render **byte-identical** CSV reports, whether the work runs
+//! serially or sharded over worker threads.
+
+use margins_core::config::CampaignConfig;
+use margins_core::runner::Campaign;
+use margins_core::severity::SeverityWeights;
+use margins_core::{regions, report};
+use margins_sim::{ChipSpec, CoreId, Corner, Millivolts};
+
+fn campaign() -> Campaign {
+    let cfg = CampaignConfig::builder()
+        .benchmarks(["bwaves", "namd"])
+        .cores([CoreId::new(0), CoreId::new(4)])
+        .iterations(2)
+        .start_voltage(Millivolts::new(915))
+        .floor_voltage(Millivolts::new(885))
+        .seed(0xC0FFEE)
+        .build()
+        .expect("static campaign config is valid");
+    Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg)
+}
+
+#[test]
+fn repeated_runs_render_byte_identical_csv() {
+    let first = campaign().execute();
+    let second = campaign().execute();
+    assert_eq!(
+        report::runs_csv(&first),
+        report::runs_csv(&second),
+        "two executions of the same seed must render identical run CSVs"
+    );
+    let weights = SeverityWeights::paper();
+    let a = regions::analyze(&first, &weights);
+    let b = regions::analyze(&second, &weights);
+    assert_eq!(report::regions_csv(&a), report::regions_csv(&b));
+}
+
+#[test]
+fn sharded_execution_renders_the_serial_csv() {
+    // Sharding respawns one simulated board per worker, so the accumulated
+    // thermal history — and with it the trailing energy_j column — may
+    // legitimately differ in its last digits. Every other column (outcomes,
+    // effects, voltages, counters-derived runtime) must match byte for byte.
+    let serial = campaign().execute();
+    let sharded = campaign().execute_parallel(4);
+    let strip_energy = |csv: &str| -> String {
+        csv.lines()
+            .map(|l| match l.rfind(',') {
+                Some(i) => &l[..i],
+                None => l,
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_energy(&report::runs_csv(&serial)),
+        strip_energy(&report::runs_csv(&sharded)),
+        "sharding must not change any report column except energy_j"
+    );
+    // And sharding is itself reproducible: same shard count, same bytes.
+    assert_eq!(
+        report::runs_csv(&sharded),
+        report::runs_csv(&campaign().execute_parallel(4))
+    );
+}
+
+#[test]
+fn run_rows_expose_on_grid_millivolts() {
+    // The sim → core boundary carries typed Millivolts; every reported
+    // voltage sits on the 5 mV regulator grid within the swept band.
+    let out = campaign().execute();
+    for r in &out.runs {
+        assert_eq!(r.pmd_mv.get() % 5, 0, "{} is off-grid", r.pmd_mv);
+        assert!(r.pmd_mv <= Millivolts::new(915));
+        assert_eq!(r.soc_mv, Millivolts::new(950));
+    }
+}

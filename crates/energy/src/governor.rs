@@ -99,11 +99,7 @@ impl Governor {
         let chosen = curve
             .iter()
             .filter(|p| p.relative_performance + 1e-12 >= min_perf)
-            .max_by(|a, b| {
-                a.energy_savings
-                    .partial_cmp(&b.energy_savings)
-                    .expect("savings are finite")
-            })?;
+            .max_by(|a, b| a.energy_savings.total_cmp(&b.energy_savings))?;
         let mut decision = GovernorDecision::from(chosen);
         let guarded = decision.voltage.up_steps(self.policy.guardband_steps);
         let guarded = guarded.min(margins_sim::volt::PMD_NOMINAL);

@@ -58,7 +58,7 @@ impl Scheduler {
             }
             demands.push((i, vs.iter().sum::<f64>() / vs.len() as f64));
         }
-        demands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demands"));
+        demands.sort_by(|a, b| b.1.total_cmp(&a.1));
         Some(
             demands
                 .into_iter()
@@ -94,7 +94,7 @@ pub fn binding_vmin(assignments: &[Assignment], table: &VminTable) -> Option<Mil
         .iter()
         .map(|a| table.get(a.core, &a.workload))
         .collect::<Option<Vec<_>>>()
-        .map(|vs| vs.into_iter().max().expect("assignments non-empty"))
+        .and_then(|vs| vs.into_iter().max())
 }
 
 #[cfg(test)]

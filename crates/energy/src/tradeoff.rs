@@ -148,7 +148,7 @@ pub fn per_pmd_rails_comparison(
         return None;
     }
 
-    let shared_v = *loaded.iter().max().expect("non-empty");
+    let shared_v = *loaded.iter().max()?;
     let full = vec![MAX_FREQ; loaded.len()];
     let shared_power = relative_power(shared_v, &full);
     let shared = TradeoffPoint {

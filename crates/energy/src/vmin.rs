@@ -129,7 +129,7 @@ impl VminTable {
         let mut cores: Vec<(CoreId, f64)> = CoreId::all()
             .filter_map(|c| self.core_mean_vmin(c).map(|v| (c, v)))
             .collect();
-        cores.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("vmins are finite"));
+        cores.sort_by(|a, b| a.1.total_cmp(&b.1));
         cores.into_iter().map(|(c, _)| c).collect()
     }
 }

@@ -1,0 +1,517 @@
+//! A minimal, lossless-enough Rust lexer.
+//!
+//! The linter's rules are token-pattern rules (`thread_rng` as an
+//! identifier, `.` `unwrap` `(` as a call, `==` adjacent to a float
+//! literal), so a full parse is unnecessary — but a naive substring grep
+//! would false-positive inside string literals and comments. This lexer
+//! classifies every byte of a source file as code token, comment or
+//! literal, handling nested block comments, raw strings, byte strings,
+//! char literals and lifetimes, so the rules only ever see real code
+//! tokens while waiver scanning only ever sees comment text.
+
+/// One code token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// Token class and text.
+    pub kind: TokKind,
+}
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Operator / punctuation, multi-character operators joined (`==`, `::`).
+    Punct(String),
+    /// Integer literal (any radix).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// Lifetime or loop label (`'a`).
+    Lifetime,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punctuation text, if this token is punctuation.
+    pub fn punct(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Punct(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A comment (line, block or doc) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment.
+    pub line: u32,
+    /// Full comment text, delimiters stripped.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `src` into code tokens and comments.
+///
+/// The lexer is intentionally forgiving: on malformed input (unterminated
+/// string, stray byte) it resynchronises at the next character rather than
+/// failing, because lint must never be the reason a build script dies on a
+/// half-written file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                out.comments.push(Comment { line: tline, text });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i + 2;
+                bump!();
+                bump!();
+                let mut depth = 1u32;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text: String = chars[start..end.min(chars.len())].iter().collect();
+                out.comments.push(Comment { line: tline, text });
+                continue;
+            }
+        }
+
+        // Raw / byte strings: r"", r#""#, b"", br#""#, and plain strings.
+        if c == 'r' || c == 'b' {
+            if let Some(consumed) = try_string_prefix(&chars, i) {
+                for _ in 0..consumed {
+                    bump!();
+                }
+                continue;
+            }
+        }
+        if c == '"' {
+            let consumed = scan_plain_string(&chars, i);
+            for _ in 0..consumed {
+                bump!();
+            }
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            if let Some(consumed) = scan_char_literal(&chars, i) {
+                for _ in 0..consumed {
+                    bump!();
+                }
+                continue;
+            }
+            // Lifetime / label: consume the quote plus identifier chars.
+            bump!();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            out.tokens.push(Token {
+                line: tline,
+                col: tcol,
+                kind: TokKind::Lifetime,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Token {
+                line: tline,
+                col: tcol,
+                kind: TokKind::Ident(text),
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let consumed = scan_number(&chars, i);
+            let is_float = consumed.1;
+            for _ in 0..consumed.0 {
+                bump!();
+            }
+            out.tokens.push(Token {
+                line: tline,
+                col: tcol,
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+            });
+            continue;
+        }
+
+        // Operators, longest match first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let oc: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&oc) {
+                for _ in 0..oc.len() {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    line: tline,
+                    col: tcol,
+                    kind: TokKind::Punct((*op).to_owned()),
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-character punctuation (or anything we don't recognise).
+        bump!();
+        out.tokens.push(Token {
+            line: tline,
+            col: tcol,
+            kind: TokKind::Punct(c.to_string()),
+        });
+    }
+
+    out
+}
+
+/// If position `i` starts a raw/byte string (`r"`, `r#"`, `b"`, `br#"`,
+/// `rb"` is not legal Rust but tolerated), returns the number of chars the
+/// whole literal occupies.
+fn try_string_prefix(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    // Up to two prefix letters (b, r in either order — only br/r/b are legal).
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                raw = true;
+                j += 1;
+            }
+            Some('b') => {
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    if raw {
+        // Count hashes.
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        j += 1;
+        // Scan until `"` followed by `hashes` hashes.
+        loop {
+            match chars.get(j) {
+                None => return Some(j - i),
+                Some('"') => {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && chars.get(k) == Some(&'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        return Some(k - i);
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    }
+    // Byte string b"..." (with escapes). If the prefix letters are not
+    // followed by a quote this was just an identifier starting with b/r —
+    // not a string at all.
+    if chars.get(j) == Some(&'"') {
+        let consumed = scan_plain_string(chars, j);
+        return Some(j - i + consumed);
+    }
+    // b'x' byte char literal.
+    if chars.get(j) == Some(&'\'') {
+        if let Some(consumed) = scan_char_literal(chars, j) {
+            return Some(j - i + consumed);
+        }
+    }
+    None
+}
+
+/// Scans a `"..."` literal starting at the opening quote; returns chars
+/// consumed including both quotes. Handles `\\` and `\"` escapes.
+fn scan_plain_string(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1 - i,
+            _ => j += 1,
+        }
+    }
+    chars.len() - i
+}
+
+/// Scans a char literal starting at `'`; returns `Some(consumed)` when the
+/// quote really opens a char literal (as opposed to a lifetime).
+fn scan_char_literal(chars: &[char], i: usize) -> Option<usize> {
+    let next = chars.get(i + 1)?;
+    if *next == '\\' {
+        // Escape: consume until closing quote.
+        let mut j = i + 2;
+        if j < chars.len() {
+            j += 1; // the escaped character
+        }
+        // Unicode escapes \u{...} span further.
+        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            return Some(j + 1 - i);
+        }
+        return Some(j - i);
+    }
+    // 'x' — a char literal only if the character after the payload closes it.
+    if chars.get(i + 2) == Some(&'\'') && *next != '\'' {
+        return Some(3);
+    }
+    None
+}
+
+/// Scans a numeric literal; returns `(consumed, is_float)`.
+fn scan_number(chars: &[char], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+
+    // Radix prefixes: 0x / 0o / 0b — always integers.
+    if chars[j] == '0' && j + 1 < chars.len() && matches!(chars[j + 1], 'x' | 'o' | 'b' | 'X') {
+        j += 2;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j - i, false);
+    }
+
+    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: a '.' followed by a digit, or a terminal '.' that is
+    // neither a range operator (`0..n`) nor a method call (`1.max(2)`).
+    if j < chars.len() && chars[j] == '.' {
+        let after = chars.get(j + 1);
+        let starts_range = after == Some(&'.');
+        let starts_method = after.is_some_and(|c| c.is_alphabetic() || *c == '_');
+        if !starts_range && !starts_method {
+            is_float = true;
+            j += 1;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < chars.len() && matches!(chars[j], 'e' | 'E') {
+        let mut k = j + 1;
+        if k < chars.len() && matches!(chars[k], '+' | '-') {
+            k += 1;
+        }
+        if k < chars.len() && chars[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (u32, f64, …).
+    if j < chars.len() && (chars[j].is_alphabetic() || chars[j] == '_') {
+        let suffix_start = j;
+        while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        let suffix: String = chars[suffix_start..j].iter().collect();
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+    }
+    (j - i, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r#"
+            // thread_rng in a comment
+            /* and HashMap in /* a nested */ block */
+            let s = "thread_rng()";
+            let r = r#other; // raw-ish ident
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_owned()));
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        assert!(ids.contains(&"r".to_owned()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_skipped() {
+        let src = "let a = r\"unwrap()\"; let b = b\"expect\"; let c = br#\"x \"q\" y\"#;";
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "a", "let", "b", "let", "c"],
+            "string payloads must not produce tokens"
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        // 'q' and '\n' must not have produced lifetime or ident tokens.
+        assert!(!idents(src).contains(&"q".to_owned()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        let toks = lex("let a = 1.5; let b = 0..10; let c = 1.max(2); let d = 3.; let e = 1e4; let f = 0x1F; let g = 2f64;");
+        let floats = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .count();
+        // 1.5, 3., 1e4, 2f64 are floats; 0, 10, 1, 2, 0x1F are not.
+        assert_eq!(floats, 4, "{:?}", toks.tokens);
+    }
+
+    #[test]
+    fn operators_are_joined() {
+        let toks = lex("a == b != c :: d .. e ..= f");
+        let puncts: Vec<&str> = toks.tokens.iter().filter_map(Token::punct).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..", "..="]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// lint: allow(no-panic)\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(no-panic)"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab cd\nef");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (1, 4));
+        assert_eq!((lexed.tokens[2].line, lexed.tokens[2].col), (2, 1));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// outer doc\n//! inner doc\nfn x() {}\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(idents("/// HashMap\nfn x() {}"), vec!["fn", "x"]);
+    }
+}

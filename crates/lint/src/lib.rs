@@ -1,0 +1,79 @@
+//! `margins-lint` — the workspace static-analysis pass enforcing the
+//! determinism, unit-safety and no-panic invariants the reproduction's
+//! distributional claims rest on.
+//!
+//! The paper's figures (safe `Vmin` per benchmark/core, severity, predictor
+//! accuracy) are statements about *distributions* of system-level effects;
+//! they only replicate if a fixed seed yields bit-identical campaigns. Six
+//! rules guard that property:
+//!
+//! | rule | name | scope | invariant |
+//! |------|------|-------|-----------|
+//! | L1 | `unseeded-rng` | all non-test code | no `thread_rng`/`rand::random`/`from_entropy` |
+//! | L2 | `hash-iter` | deterministic crates | no `HashMap`/`HashSet` (ordered containers only) |
+//! | L3 | `float-eq` | deterministic crates | no `==`/`!=` on float voltage/model math |
+//! | L4 | `no-panic` | deterministic crates | no `unwrap()`/`expect()` in library code |
+//! | L5 | `wall-clock` | deterministic crates | no `Instant::now`/`SystemTime::now` |
+//! | L6 | `stale-file` | whole tree | no `*.bak`/`*.orig`/`*.rej` files |
+//!
+//! The *deterministic crates* are `sim`, `core`, `energy` and `predict` —
+//! everything between a campaign seed and a figure. Test code (`tests/`,
+//! `benches/`, `examples/`, `#[cfg(test)]` modules) is exempt from L1–L5.
+//!
+//! Any rule can be waived per line with an explicit, reported comment:
+//!
+//! ```text
+//! // lint: allow(no-panic) — validated at config build time
+//! ```
+//!
+//! The linter is dependency-free by design: it lexes Rust itself (see
+//! [`lexer`]) instead of using `syn`, so it builds in hermetic CI
+//! sandboxes with no registry access, and its JSON report (see [`report`])
+//! is byte-deterministic.
+//!
+//! Run it with `cargo run -p margins-lint -- --workspace [--deny]`, or in
+//! tier-1 via the `workspace_clean` integration test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Report;
+use rules::FileOutcome;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use rules::{Finding, Rule, Waiver, DETERMINISTIC_CRATES};
+
+/// Lints the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::walk(root)?;
+    let mut report = Report::default();
+    for rel in &files {
+        let Some(scope) = rules::classify_path(rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        if let Some(stale) = rules::check_stale_file(rel) {
+            report.findings.push(stale);
+        }
+        if rel.ends_with(".rs") {
+            let src = fs::read_to_string(root.join(rel))?;
+            let FileOutcome { findings, waivers } = rules::lint_rust_file(rel, &src, scope);
+            report.findings.extend(findings);
+            report.waivers.extend(waivers);
+        }
+    }
+    report.sort();
+    Ok(report)
+}

@@ -1,0 +1,125 @@
+//! CLI driver: `margins-lint --workspace [--deny] [--json PATH] [--root DIR]`.
+//!
+//! Exit status: `0` clean (or findings present without `--deny`), `1`
+//! findings present under `--deny`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str =
+    "usage: margins-lint --workspace [--deny] [--json PATH|-] [--root DIR] [--quiet]
+
+Lints every Rust source file of the workspace against the determinism,
+unit-safety and no-panic rules L1-L6 (see crates/lint and DESIGN.md).
+
+  --workspace   lint the enclosing cargo workspace (located by walking up
+                from the current directory to a [workspace] manifest)
+  --root DIR    lint DIR instead of the discovered workspace root
+  --deny        exit nonzero when any unwaived finding remains
+  --json PATH   also write the machine-readable report to PATH ('-' = stdout)
+  --quiet       suppress human diagnostics
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json = None;
+    let mut quiet = false;
+    let mut workspace = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                json = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !workspace && root.is_none() {
+        return Err("pass --workspace (or an explicit --root DIR)".to_owned());
+    }
+    let root = match root {
+        Some(r) => r,
+        None => discover_workspace_root()?,
+    };
+    Ok(Args {
+        root,
+        deny,
+        json,
+        quiet,
+    })
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` section.
+fn discover_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no [workspace] Cargo.toml found above the current directory".to_owned());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("margins-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match margins_lint::lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("margins-lint: {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        let json = report.to_json();
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("margins-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        print!("{}", report.render_human());
+    }
+
+    if args.deny && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

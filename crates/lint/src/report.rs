@@ -1,0 +1,266 @@
+//! Machine-readable (JSON) and human diagnostics for a lint run.
+//!
+//! The JSON writer is hand-rolled (no serde — the linter is hermetic) and
+//! byte-deterministic: findings and waivers are emitted in sorted order
+//! with sorted count maps, so two runs over the same tree produce
+//! byte-identical reports — the linter holds itself to the invariant it
+//! enforces.
+
+use crate::rules::{Finding, Rule, Waiver, RULE_NAMES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything a lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace-relative files scanned (Rust files lexed + all files
+    /// checked for staleness).
+    pub files_scanned: usize,
+    /// Unwaived findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Every waiver encountered, sorted, each flagged used/unused.
+    pub waivers: Vec<Waiver>,
+}
+
+impl Report {
+    /// Finalizes ordering so rendering is deterministic.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Count of findings per rule name, every rule present (0 when clean).
+    #[must_use]
+    pub fn findings_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map: BTreeMap<&'static str, usize> = RULE_NAMES.iter().map(|n| (*n, 0)).collect();
+        for f in &self.findings {
+            *map.entry(f.rule.name()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Count of waivers per rule name (only rules with waivers appear).
+    #[must_use]
+    pub fn waivers_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for w in &self.waivers {
+            *map.entry(w.rule.name()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Distinct rules with at least one finding.
+    #[must_use]
+    pub fn distinct_violated_rules(&self) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = self.findings.iter().map(|f| f.rule).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    /// The byte-deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"tool\": \"margins-lint\",\n  \"schema_version\": 1,\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"label\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \"message\": {}}}",
+                json_str(f.rule.name()),
+                json_str(f.rule.label()),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            );
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        s.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"used\": {}}}",
+                json_str(w.rule.name()),
+                json_str(&w.file),
+                w.line,
+                w.used
+            );
+        }
+        s.push_str(if self.waivers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        s.push_str("  \"counts\": {\n    \"findings_by_rule\": {");
+        let by_rule = self.findings_by_rule();
+        for (i, (rule, n)) in by_rule.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                json_str(rule),
+                n
+            );
+        }
+        s.push_str("},\n    \"waivers_by_rule\": {");
+        for (i, (rule, n)) in self.waivers_by_rule().iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                json_str(rule),
+                n
+            );
+        }
+        let _ = write!(
+            s,
+            "}},\n    \"findings\": {},\n    \"waivers\": {}\n  }}\n}}\n",
+            self.findings.len(),
+            self.waivers.len()
+        );
+        s
+    }
+
+    /// `file:line:col: [rule] message` diagnostics plus a summary block.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                s,
+                "{}:{}:{}: [{}/{}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.label(),
+                f.rule.name(),
+                f.message
+            );
+        }
+        let _ = writeln!(
+            s,
+            "margins-lint: {} file(s) scanned, {} finding(s), {} waiver(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.waivers.len()
+        );
+        for (rule, n) in self.findings_by_rule() {
+            if n > 0 {
+                let _ = writeln!(s, "  {n:>4}  {rule}");
+            }
+        }
+        let unused: Vec<&Waiver> = self.waivers.iter().filter(|w| !w.used).collect();
+        if !unused.is_empty() {
+            let _ = writeln!(s, "unused waivers ({}):", unused.len());
+            for w in unused {
+                let _ = writeln!(s, "  {}:{}: allow({})", w.file, w.line, w.rule.name());
+            }
+        }
+        s
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 2,
+            findings: vec![
+                Finding {
+                    file: "crates/sim/src/b.rs".into(),
+                    line: 9,
+                    col: 4,
+                    rule: Rule::NoPanic,
+                    message: "unwrap() \"quoted\"".into(),
+                },
+                Finding {
+                    file: "crates/sim/src/a.rs".into(),
+                    line: 2,
+                    col: 1,
+                    rule: Rule::HashIter,
+                    message: "m".into(),
+                },
+            ],
+            waivers: vec![Waiver {
+                file: "crates/sim/src/a.rs".into(),
+                line: 5,
+                rule: Rule::FloatEq,
+                used: false,
+            }],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let json = sample().to_json();
+        let a = json.find("a.rs").unwrap();
+        let b = json.find("b.rs").unwrap();
+        assert!(a < b, "findings must be sorted by file");
+        assert!(json.contains("unwrap() \\\"quoted\\\""));
+        assert!(json.contains("\"findings\": 2"));
+        assert!(json.contains("\"no-panic\": 1"));
+        assert!(json.contains("\"unseeded-rng\": 0"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn human_render_mentions_rule_labels() {
+        let text = sample().render_human();
+        assert!(text.contains("crates/sim/src/b.rs:9:4: [L4/no-panic]"));
+        assert!(text.contains("unused waivers (1):"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let mut r = Report::default();
+        r.sort();
+        let json = r.to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"findings\": 0"));
+    }
+}

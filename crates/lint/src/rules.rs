@@ -1,0 +1,704 @@
+//! Rules L1–L6 and the waiver machinery.
+//!
+//! Every rule is a token-pattern check over [`crate::lexer::Lexed`] output,
+//! scoped by file role (test code is exempt from code rules) and by crate
+//! (determinism rules only bind the deterministic-path crates). Findings
+//! can be waived with an explicit comment:
+//!
+//! ```text
+//! // lint: allow(<rule>[, <rule>...]) — optional justification
+//! ```
+//!
+//! placed either on the offending line or on its own line directly above.
+//! Waivers are never silent: each one is recorded in the report with a
+//! `used` flag so reviewers can see (and CI can count) every escape hatch.
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use std::collections::BTreeSet;
+
+/// Machine name of every rule, in L-number order.
+pub const RULE_NAMES: [&str; 6] = [
+    Rule::UnseededRng.name(),
+    Rule::HashIter.name(),
+    Rule::FloatEq.name(),
+    Rule::NoPanic.name(),
+    Rule::WallClock.name(),
+    Rule::StaleFile.name(),
+];
+
+/// The lint rules, L1–L6 of the determinism/unit-safety invariant set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: unseeded randomness (`thread_rng`, `rand::random`,
+    /// `from_entropy`) outside test/bench code.
+    UnseededRng,
+    /// L2: `HashMap`/`HashSet` in deterministic-path crates — iteration
+    /// order would leak scheduling/hashing noise into reproducible results.
+    HashIter,
+    /// L3: `==`/`!=` on floating-point voltage/frequency math.
+    FloatEq,
+    /// L4: `unwrap()`/`expect()` in non-test library code of
+    /// deterministic-path crates.
+    NoPanic,
+    /// L5: wall-clock reads (`Instant::now`, `SystemTime::now`) inside
+    /// fault/severity computation crates.
+    WallClock,
+    /// L6: stale editor/VCS droppings (`*.bak`, `*.orig`, `*.rej`) in tree.
+    StaleFile,
+}
+
+impl Rule {
+    /// The rule's machine name, used in reports and waiver comments.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::HashIter => "hash-iter",
+            Rule::FloatEq => "float-eq",
+            Rule::NoPanic => "no-panic",
+            Rule::WallClock => "wall-clock",
+            Rule::StaleFile => "stale-file",
+        }
+    }
+
+    /// The L-number label (`L1`…`L6`).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Rule::UnseededRng => "L1",
+            Rule::HashIter => "L2",
+            Rule::FloatEq => "L3",
+            Rule::NoPanic => "L4",
+            Rule::WallClock => "L5",
+            Rule::StaleFile => "L6",
+        }
+    }
+
+    /// Parses a waiver rule name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "unseeded-rng" => Some(Rule::UnseededRng),
+            "hash-iter" => Some(Rule::HashIter),
+            "float-eq" => Some(Rule::FloatEq),
+            "no-panic" => Some(Rule::NoPanic),
+            "wall-clock" => Some(Rule::WallClock),
+            "stale-file" => Some(Rule::StaleFile),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One waiver comment found in a file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Waiver {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Waived rule.
+    pub rule: Rule,
+    /// Whether a finding was actually suppressed by this waiver.
+    pub used: bool,
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// File lives in test/bench/example context: code rules don't apply.
+    pub is_test_context: bool,
+    /// File belongs to a deterministic-path crate (sim/core/energy/predict).
+    pub is_deterministic_path: bool,
+}
+
+/// Result of linting one Rust source file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unwaived findings.
+    pub findings: Vec<Finding>,
+    /// All waivers seen, with usage flags.
+    pub waivers: Vec<Waiver>,
+}
+
+/// The crates whose results must be bit-reproducible: the simulator, the
+/// characterization framework, the predictor and the energy models.
+pub const DETERMINISTIC_CRATES: [&str; 4] = ["sim", "core", "energy", "predict"];
+
+/// Classifies `rel` (workspace-relative, `/`-separated) into a scope.
+///
+/// Returns `None` when the file must not be linted at all (lint fixtures,
+/// VCS/build internals).
+#[must_use]
+pub fn classify_path(rel: &str) -> Option<FileScope> {
+    let components: Vec<&str> = rel.split('/').collect();
+    if components
+        .iter()
+        .any(|c| *c == ".git" || *c == "target" || *c == "fixtures")
+    {
+        return None;
+    }
+    let is_test_context = components
+        .iter()
+        .any(|c| *c == "tests" || *c == "benches" || *c == "examples");
+    let is_deterministic_path = components.len() > 1
+        && components[0] == "crates"
+        && DETERMINISTIC_CRATES.contains(&components[1]);
+    Some(FileScope {
+        is_test_context,
+        is_deterministic_path,
+    })
+}
+
+/// Lints one Rust source file.
+#[must_use]
+pub fn lint_rust_file(rel: &str, src: &str, scope: FileScope) -> FileOutcome {
+    let lexed = lex(src);
+    let test_lines = test_line_spans(&lexed.tokens);
+    let waivers = collect_waivers(&lexed, src);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if !scope.is_test_context {
+        let in_test = |line: u32| test_lines.iter().any(|(a, b)| line >= *a && line <= *b);
+        check_unseeded_rng(rel, &lexed.tokens, &in_test, &mut raw);
+        if scope.is_deterministic_path {
+            check_hash_iter(rel, &lexed.tokens, &in_test, &mut raw);
+            check_float_eq(rel, &lexed.tokens, &in_test, &mut raw);
+            check_no_panic(rel, &lexed.tokens, &in_test, &mut raw);
+            check_wall_clock(rel, &lexed.tokens, &in_test, &mut raw);
+        }
+    }
+
+    apply_waivers(rel, raw, waivers)
+}
+
+/// Resolves waivers against raw findings: a finding is suppressed when a
+/// waiver for its rule targets its line.
+fn apply_waivers(rel: &str, raw: Vec<Finding>, waivers: Vec<(Rule, u32, u32)>) -> FileOutcome {
+    // (rule, comment line, target line)
+    let mut used = vec![false; waivers.len()];
+    let mut findings = Vec::new();
+    for f in raw {
+        let mut waived = false;
+        for (i, (rule, _, target)) in waivers.iter().enumerate() {
+            if *rule == f.rule && *target == f.line {
+                used[i] = true;
+                waived = true;
+            }
+        }
+        if !waived {
+            findings.push(f);
+        }
+    }
+    let waivers = waivers
+        .into_iter()
+        .zip(used)
+        .map(|((rule, line, _), used)| Waiver {
+            file: rel.to_owned(),
+            line,
+            rule,
+            used,
+        })
+        .collect();
+    FileOutcome { findings, waivers }
+}
+
+/// Extracts `lint: allow(rule[, rule])` waivers from comments and computes
+/// each waiver's target line: the comment's own line when code shares it,
+/// otherwise the next line that carries code.
+fn collect_waivers(lexed: &Lexed, src: &str) -> Vec<(Rule, u32, u32)> {
+    let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let last_line = src.lines().count() as u32;
+    let mut out = Vec::new();
+    for Comment { line, text } in &lexed.comments {
+        // Doc comments (`///`, `//!`, `/** .. */`) never carry waivers —
+        // they are rendered documentation, not annotations on code lines.
+        if text.starts_with('/') || text.starts_with('!') || text.starts_with('*') {
+            continue;
+        }
+        for rule in parse_waiver_rules(text) {
+            let target = if code_lines.contains(line) {
+                *line
+            } else {
+                (*line + 1..=last_line)
+                    .find(|l| code_lines.contains(l))
+                    .unwrap_or(*line)
+            };
+            out.push((rule, *line, target));
+        }
+    }
+    out
+}
+
+/// Parses the rule list out of a `lint: allow(a, b)` comment.
+fn parse_waiver_rules(comment: &str) -> Vec<Rule> {
+    let Some(pos) = comment.find("lint:") else {
+        return Vec::new();
+    };
+    let rest = comment[pos + "lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|name| Rule::from_name(name.trim()))
+        .collect()
+}
+
+/// Computes `(first, last)` line spans of `#[cfg(test)]`-guarded items, so
+/// in-file unit-test modules are exempt from code rules.
+fn test_line_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].punct() == Some("#")
+            && matches!(tokens.get(i + 1).and_then(Token::punct), Some("["))
+        {
+            let attr_line = tokens[i].line;
+            let (attr_end, is_test_cfg) = scan_attribute(tokens, i + 1);
+            if is_test_cfg {
+                if let Some((_, close_line)) = item_body_span(tokens, attr_end) {
+                    spans.push((attr_line, close_line));
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Scans an attribute starting at its `[`; returns (index past `]`, whether
+/// it is a `cfg(...)` containing the `test` flag or a bare `#[test]`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct(p) if p == "[" => depth += 1,
+            TokKind::Punct(p) if p == "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.as_str().to_owned()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_cfg_test =
+        idents.first().is_some_and(|f| f == "cfg") && idents.iter().any(|s| s == "test");
+    let is_bare_test = idents.len() == 1 && idents[0] == "test";
+    (j, is_cfg_test || is_bare_test)
+}
+
+/// From just past a test attribute, skips any further attributes and finds
+/// the brace-delimited body of the next item. Returns `(open, close)` lines.
+fn item_body_span(tokens: &[Token], mut i: usize) -> Option<(u32, u32)> {
+    // Skip subsequent outer attributes.
+    while i < tokens.len() && tokens[i].punct() == Some("#") {
+        if tokens.get(i + 1).and_then(Token::punct) == Some("[") {
+            let (end, _) = scan_attribute(tokens, i + 1);
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    // Find the item's opening brace; a `;` first means no body (`mod x;`).
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].punct() {
+            Some(";") => return None,
+            Some("{") => break,
+            _ => j += 1,
+        }
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    let open_line = tokens[j].line;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].punct() {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open_line, tokens[j].line));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((open_line, tokens.last().map_or(open_line, |t| t.line)))
+}
+
+fn push(out: &mut Vec<Finding>, rel: &str, tok: &Token, rule: Rule, message: String) {
+    out.push(Finding {
+        file: rel.to_owned(),
+        line: tok.line,
+        col: tok.col,
+        rule,
+        message,
+    });
+}
+
+/// L1: `thread_rng`, `rand::random`, `from_entropy`.
+fn check_unseeded_rng(
+    rel: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        match t.ident() {
+            Some("thread_rng") => push(
+                out,
+                rel,
+                t,
+                Rule::UnseededRng,
+                "thread_rng() draws OS entropy; seed an explicit StdRng instead".into(),
+            ),
+            Some("from_entropy") => push(
+                out,
+                rel,
+                t,
+                Rule::UnseededRng,
+                "from_entropy() is unseeded; derive the seed from campaign coordinates".into(),
+            ),
+            Some("random")
+                if i >= 2
+                    && tokens[i - 1].punct() == Some("::")
+                    && tokens[i - 2].ident() == Some("rand") =>
+            {
+                push(
+                    out,
+                    rel,
+                    t,
+                    Rule::UnseededRng,
+                    "rand::random() draws OS entropy; seed an explicit StdRng instead".into(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: any `HashMap`/`HashSet` in deterministic-path code.
+///
+/// Iteration order is where the nondeterminism leaks, but *whether* a map
+/// is iterated is a type-level question a token pass cannot settle — so the
+/// rule is deliberately conservative: name the type at all and you must
+/// either switch to an ordered container or leave an explicit waiver.
+fn check_hash_iter(
+    rel: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for t in tokens {
+        if in_test(t.line) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+            push(
+                out,
+                rel,
+                t,
+                Rule::HashIter,
+                format!("{name} iteration order is nondeterministic on the reproducible path; use BTreeMap/BTreeSet or waive"),
+            );
+        }
+    }
+}
+
+/// L3: `==`/`!=` adjacent to float literals or `as f64`/`as f32` casts.
+fn check_float_eq(
+    rel: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const WINDOW: usize = 3;
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(t.punct(), Some("==" | "!=")) || in_test(t.line) {
+            continue;
+        }
+        let lo = i.saturating_sub(WINDOW);
+        let hi = (i + WINDOW + 1).min(tokens.len());
+        let near = &tokens[lo..hi];
+        let float_lit = near.iter().any(|n| n.kind == TokKind::Float);
+        let float_cast = near
+            .windows(2)
+            .any(|w| w[0].ident() == Some("as") && matches!(w[1].ident(), Some("f64" | "f32")));
+        if float_lit || float_cast {
+            push(
+                out,
+                rel,
+                t,
+                Rule::FloatEq,
+                "floating-point equality on model math; compare in integer millivolts or with an epsilon".into(),
+            );
+        }
+    }
+}
+
+/// L4: `.unwrap()` / `.expect(` in non-test deterministic-path code.
+fn check_no_panic(
+    rel: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        let called = matches!(tokens.get(i + 1).and_then(Token::punct), Some("("));
+        let method = i > 0 && tokens[i - 1].punct() == Some(".");
+        if !(called && method) {
+            continue;
+        }
+        match t.ident() {
+            Some("unwrap") => push(
+                out,
+                rel,
+                t,
+                Rule::NoPanic,
+                "unwrap() can panic mid-campaign; return a typed error or waive with justification"
+                    .into(),
+            ),
+            Some("expect") => push(
+                out,
+                rel,
+                t,
+                Rule::NoPanic,
+                "expect() can panic mid-campaign; return a typed error or waive with justification"
+                    .into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// L5: `Instant::now` / `SystemTime::now` on the deterministic path.
+fn check_wall_clock(
+    rel: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        if t.ident() == Some("now")
+            && i >= 2
+            && tokens[i - 1].punct() == Some("::")
+            && matches!(tokens[i - 2].ident(), Some("Instant" | "SystemTime"))
+        {
+            push(
+                out,
+                rel,
+                t,
+                Rule::WallClock,
+                format!(
+                    "{}::now() injects wall-clock state into deterministic computation; thread simulated time through instead",
+                    tokens[i - 2].ident().unwrap_or_default()
+                ),
+            );
+        }
+    }
+}
+
+/// L6: stale file extensions. Applies to *paths*, not contents.
+#[must_use]
+pub fn check_stale_file(rel: &str) -> Option<Finding> {
+    let stale = [".bak", ".orig", ".rej"]
+        .iter()
+        .find(|ext| rel.ends_with(**ext))?;
+    Some(Finding {
+        file: rel.to_owned(),
+        line: 0,
+        col: 0,
+        rule: Rule::StaleFile,
+        message: format!("stale `{stale}` file checked into the tree; delete it"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DET: FileScope = FileScope {
+        is_test_context: false,
+        is_deterministic_path: true,
+    };
+
+    fn lint(src: &str) -> FileOutcome {
+        lint_rust_file("crates/sim/src/x.rs", src, DET)
+    }
+
+    fn rules_of(out: &FileOutcome) -> Vec<Rule> {
+        out.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged() {
+        let out = lint("fn f() { x.unwrap(); y.expect(\"msg\"); }");
+        assert_eq!(rules_of(&out), vec![Rule::NoPanic, Rule::NoPanic]);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n";
+        assert!(lint(src).findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let out = lint("fn f() { x.unwrap_or_else(|| 3); x.unwrap_or(1); }");
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn waiver_same_line_and_line_above() {
+        let same = "fn f() { x.unwrap(); } // lint: allow(no-panic) — invariant";
+        let out = lint(same);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waivers.len(), 1);
+        assert!(out.waivers[0].used);
+
+        let above = "fn f() {\n // lint: allow(no-panic) — invariant\n x.unwrap();\n}";
+        assert!(lint(above).findings.is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_reported_unused() {
+        let out = lint("// lint: allow(no-panic)\nfn f() { let a = 1; }");
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waivers.len(), 1);
+        assert!(!out.waivers[0].used);
+    }
+
+    #[test]
+    fn waiver_only_covers_its_rule() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(hash-iter)";
+        let out = lint(src);
+        assert_eq!(rules_of(&out), vec![Rule::NoPanic]);
+    }
+
+    #[test]
+    fn hashmap_flagged_only_on_deterministic_path() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert_eq!(lint(src).findings.len(), 3);
+        let other = lint_rust_file(
+            "crates/bench/src/x.rs",
+            src,
+            FileScope {
+                is_test_context: false,
+                is_deterministic_path: false,
+            },
+        );
+        assert!(other.findings.is_empty());
+    }
+
+    #[test]
+    fn float_eq_heuristics() {
+        let out = lint("fn f(v: f64) { if v == 3.3 {} if (v as f64) != w {} }");
+        assert_eq!(rules_of(&out), vec![Rule::FloatEq, Rule::FloatEq]);
+        // Integer comparisons and range patterns stay clean.
+        assert!(lint("fn f(v: u32) { if v == 905 {} let r = 0..10; }")
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_applies_everywhere_nontest() {
+        let src = "fn f() { let r = rand::thread_rng(); let x: u8 = rand::random(); let s = StdRng::from_entropy(); }";
+        let out = lint_rust_file(
+            "crates/bench/src/x.rs",
+            src,
+            FileScope {
+                is_test_context: false,
+                is_deterministic_path: false,
+            },
+        );
+        assert_eq!(
+            rules_of(&out),
+            vec![Rule::UnseededRng, Rule::UnseededRng, Rule::UnseededRng]
+        );
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let out = lint("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(rules_of(&out), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn test_context_files_are_exempt() {
+        let out = lint_rust_file(
+            "crates/sim/tests/t.rs",
+            "fn f() { x.unwrap(); thread_rng(); }",
+            FileScope {
+                is_test_context: true,
+                is_deterministic_path: true,
+            },
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert!(classify_path("crates/lint/tests/fixtures/seedlike/x.rs").is_none());
+        assert!(classify_path("target/debug/x.rs").is_none());
+        let s = classify_path("crates/sim/src/volt.rs").unwrap();
+        assert!(s.is_deterministic_path && !s.is_test_context);
+        let t = classify_path("crates/sim/tests/proptest_sim.rs").unwrap();
+        assert!(t.is_test_context);
+        let b = classify_path("crates/bench/src/lib.rs").unwrap();
+        assert!(!b.is_deterministic_path);
+        let root = classify_path("src/bin/voltmargin.rs").unwrap();
+        assert!(!root.is_deterministic_path && !root.is_test_context);
+    }
+
+    #[test]
+    fn stale_file_rule() {
+        assert!(check_stale_file("crates/bench/src/lib.rs.bak").is_some());
+        assert!(check_stale_file("crates/bench/src/lib.rs").is_none());
+        assert!(check_stale_file("a/b.orig").is_some());
+    }
+
+    #[test]
+    fn tokens_in_strings_do_not_fire() {
+        let src = r#"fn f() { let s = "x.unwrap() HashMap thread_rng"; }"#;
+        assert!(lint(src).findings.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic workspace traversal.
+//!
+//! `std::fs::read_dir` order is filesystem-dependent; the walker sorts
+//! every directory's entries by name so the scan order — and therefore the
+//! report — is identical on every machine.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 3] = [".git", "target", "node_modules"];
+
+/// Recursively lists all files under `root`, sorted, as
+/// workspace-relative `/`-separated paths.
+pub fn walk(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            let rel: Vec<String> = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            out.push(rel.join("/"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_relative() {
+        let dir = std::env::temp_dir().join(format!("margins-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("b/inner")).unwrap();
+        fs::create_dir_all(dir.join(".git")).unwrap();
+        fs::write(dir.join("b/inner/z.rs"), "").unwrap();
+        fs::write(dir.join("a.rs"), "").unwrap();
+        fs::write(dir.join(".git/ignored"), "").unwrap();
+        let files = walk(&dir).unwrap();
+        assert_eq!(files, vec!["a.rs".to_owned(), "b/inner/z.rs".to_owned()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a non-deterministic-path crate. Determinism rules L2–L5 do
+//! not bind here; the unseeded-randomness rule L1 still does.
+
+use std::collections::HashMap;
+
+pub fn allowed_here(v: f64) -> bool {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m.get(&1).unwrap();
+    v == 1.5
+}
+
+pub fn but_entropy_is_not() -> u8 {
+    rand::random()
+}

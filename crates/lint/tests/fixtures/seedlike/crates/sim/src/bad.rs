@@ -1,0 +1,35 @@
+//! Fixture: one violation of every code rule (L1–L5) on the deterministic
+//! path, no waivers. Mirrors the pre-fix seed tree's failure modes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn l1_unseeded() -> u64 {
+    let mut r = rand::thread_rng();
+    let x: u64 = rand::random();
+    let s = StdRng::from_entropy();
+    let _ = (&mut r, s);
+    x
+}
+
+pub fn l2_hash_iteration(cells: &[(u32, f64)]) -> HashMap<u32, f64> {
+    let mut by_set: HashMap<u32, f64> = HashMap::new();
+    for (set, vfail) in cells {
+        by_set.insert(*set, *vfail);
+    }
+    by_set
+}
+
+pub fn l3_float_equality(vmin_mv: f64) -> bool {
+    vmin_mv == 905.0
+}
+
+pub fn l4_panics(digest: Option<u64>) -> u64 {
+    let d = digest.unwrap();
+    let e = digest.expect("golden digest present");
+    d + e
+}
+
+pub fn l5_wall_clock() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,34 @@
+//! Fixture: fully compliant deterministic-path code — ordered containers,
+//! seeded randomness, integer millivolts, typed errors. Zero findings.
+
+use std::collections::BTreeMap;
+
+pub fn seeded(seed: u64) -> u64 {
+    // Deterministic splitmix-style step; mentions of unwrap or HashMap in
+    // strings and comments must not fire: "x.unwrap()", "HashMap::new()".
+    let z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^ (z >> 31)
+}
+
+pub fn ordered(cells: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+    cells.iter().copied().collect()
+}
+
+pub fn integer_millivolts(vmin_mv: u32) -> bool {
+    vmin_mv == 905
+}
+
+pub fn float_compare_with_epsilon(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules may do all of this freely.
+    #[test]
+    fn exempt() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        assert!(Some(1u32).unwrap() == 1);
+    }
+}

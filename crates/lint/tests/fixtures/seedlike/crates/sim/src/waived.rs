@@ -1,0 +1,27 @@
+//! Fixture: the same violations as `bad.rs`, each carrying an explicit
+//! waiver — the linter must suppress all of them and report the waivers.
+
+use std::collections::HashMap; // lint: allow(hash-iter) — keyed by opaque id, never iterated
+
+pub fn waived_unwrap(digest: Option<u64>) -> u64 {
+    // lint: allow(no-panic) — digest presence validated by the caller
+    digest.unwrap()
+}
+
+pub fn waived_expect(digest: Option<u64>) -> u64 {
+    digest.expect("validated") // lint: allow(no-panic) — invariant
+}
+
+pub fn waived_float_eq(v: f64) -> bool {
+    // lint: allow(float-eq) — exact sentinel propagated unmodified
+    v == 0.0
+}
+
+pub fn waived_map(m: &mut HashMap<u32, u32>) { // lint: allow(hash-iter) — insertion only
+    m.insert(1, 2);
+}
+
+pub fn one_unused_waiver() -> u32 {
+    // lint: allow(wall-clock) — nothing on this line needs it
+    41 + 1
+}

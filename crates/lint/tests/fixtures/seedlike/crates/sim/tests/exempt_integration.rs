@@ -1,0 +1,8 @@
+//! Fixture: integration-test files are exempt from every code rule.
+
+fn main() {
+    let mut r = rand::thread_rng();
+    let m = std::collections::HashMap::<u32, u32>::new();
+    let _ = (&mut r, m);
+    Some(1u32).unwrap();
+}

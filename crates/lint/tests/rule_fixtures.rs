@@ -1,0 +1,139 @@
+//! Exercises every rule L1–L6 against the `seedlike` fixture tree —
+//! positive hits, waived hits and clean files — asserting on both the
+//! structured report and its JSON form.
+
+use margins_lint::rules::Rule;
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    let manifest = option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
+    manifest.join("tests/fixtures/seedlike")
+}
+
+fn lint_fixture() -> margins_lint::report::Report {
+    margins_lint::lint_workspace(&fixture_root()).expect("fixture tree lints")
+}
+
+fn count(report: &margins_lint::report::Report, rule: Rule, file: &str) -> usize {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.file == file)
+        .count()
+}
+
+const BAD: &str = "crates/sim/src/bad.rs";
+const WAIVED: &str = "crates/sim/src/waived.rs";
+const CLEAN: &str = "crates/sim/src/clean.rs";
+const OFFPATH: &str = "crates/bench/src/offpath.rs";
+const EXEMPT: &str = "crates/sim/tests/exempt_integration.rs";
+
+#[test]
+fn every_rule_fires_on_the_seedlike_tree() {
+    let report = lint_fixture();
+    // L1: thread_rng + rand::random + from_entropy.
+    assert_eq!(count(&report, Rule::UnseededRng, BAD), 3);
+    // L2: every HashMap mention in bad.rs (use + signature + binding + ctor).
+    assert!(count(&report, Rule::HashIter, BAD) >= 3);
+    assert_eq!(count(&report, Rule::FloatEq, BAD), 1);
+    // L4: one unwrap + one expect.
+    assert_eq!(count(&report, Rule::NoPanic, BAD), 2);
+    assert_eq!(count(&report, Rule::WallClock, BAD), 1);
+    // L6: the stale backup file.
+    assert_eq!(
+        count(&report, Rule::StaleFile, "crates/sim/src/stale.rs.bak"),
+        1
+    );
+}
+
+#[test]
+fn seedlike_tree_violates_at_least_five_distinct_rules() {
+    // The acceptance bar for the pre-fix seed: >= 5 distinct rules firing.
+    let distinct = lint_fixture().distinct_violated_rules();
+    assert!(
+        distinct.len() >= 5,
+        "expected >=5 distinct violated rules, got {distinct:?}"
+    );
+}
+
+#[test]
+fn waivers_suppress_and_are_reported() {
+    let report = lint_fixture();
+    assert_eq!(
+        report.findings.iter().filter(|f| f.file == WAIVED).count(),
+        0,
+        "all violations in waived.rs carry waivers"
+    );
+    let waivers: Vec<_> = report.waivers.iter().filter(|w| w.file == WAIVED).collect();
+    assert_eq!(waivers.len(), 6, "{waivers:?}");
+    assert_eq!(waivers.iter().filter(|w| w.used).count(), 5);
+    // The deliberately unused waiver is flagged unused, not dropped.
+    let unused: Vec<_> = waivers.iter().filter(|w| !w.used).collect();
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].rule, Rule::WallClock);
+}
+
+#[test]
+fn clean_and_exempt_files_produce_nothing() {
+    let report = lint_fixture();
+    assert_eq!(
+        report.findings.iter().filter(|f| f.file == CLEAN).count(),
+        0
+    );
+    assert_eq!(
+        report.findings.iter().filter(|f| f.file == EXEMPT).count(),
+        0,
+        "integration-test files are exempt from code rules"
+    );
+}
+
+#[test]
+fn determinism_rules_do_not_bind_off_path_crates() {
+    let report = lint_fixture();
+    assert_eq!(count(&report, Rule::HashIter, OFFPATH), 0);
+    assert_eq!(count(&report, Rule::NoPanic, OFFPATH), 0);
+    assert_eq!(count(&report, Rule::FloatEq, OFFPATH), 0);
+    // But unseeded entropy is forbidden everywhere outside tests.
+    assert_eq!(count(&report, Rule::UnseededRng, OFFPATH), 1);
+}
+
+#[test]
+fn json_report_carries_findings_waivers_and_counts() {
+    let report = lint_fixture();
+    let json = report.to_json();
+    assert!(json.contains("\"tool\": \"margins-lint\""));
+    assert!(json.contains("\"rule\": \"unseeded-rng\""));
+    assert!(json.contains("\"label\": \"L1\""));
+    assert!(json.contains("\"file\": \"crates/sim/src/bad.rs\""));
+    assert!(json.contains("\"rule\": \"stale-file\""));
+    assert!(json.contains("\"used\": false"));
+    // Counts block names every rule, including clean ones, with totals.
+    for rule in margins_lint::rules::RULE_NAMES {
+        assert!(
+            json.contains(&format!("\"{rule}\"")),
+            "counts must mention {rule}"
+        );
+    }
+}
+
+#[test]
+fn json_report_is_byte_deterministic() {
+    let a = lint_fixture().to_json();
+    let b = lint_fixture().to_json();
+    assert_eq!(
+        a, b,
+        "two runs over the same tree must emit identical bytes"
+    );
+}
+
+#[test]
+fn human_diagnostics_use_file_line_col() {
+    let human = lint_fixture().render_human();
+    assert!(
+        human.contains("crates/sim/src/bad.rs:"),
+        "diagnostics carry file:line"
+    );
+    assert!(human.contains("[L4/no-panic]"));
+    assert!(human.contains("unused waivers"));
+}

@@ -1,0 +1,43 @@
+//! Tier-1 gate: the real workspace must lint clean.
+//!
+//! This is the `#[test]` form of `cargo run -p margins-lint -- --workspace
+//! --deny`: zero unwaived findings, and no dead waivers rotting in the
+//! tree either.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
+    // crates/lint -> workspace root.
+    manifest
+        .ancestors()
+        .find(|a| a.join("Cargo.toml").is_file() && a.join("crates").is_dir())
+        .expect("workspace root above crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let report = margins_lint::lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        report.files_scanned > 50,
+        "sanity: expected to scan the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn workspace_has_no_unused_waivers() {
+    let report = margins_lint::lint_workspace(&workspace_root()).expect("workspace lints");
+    let unused: Vec<_> = report.waivers.iter().filter(|w| !w.used).collect();
+    assert!(
+        unused.is_empty(),
+        "every waiver must still suppress something: {unused:?}"
+    );
+}

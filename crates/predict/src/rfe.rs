@@ -59,7 +59,7 @@ impl RecursiveFeatureElimination {
                 .enumerate()
                 .map(|(k, w)| (k, w.abs()))
                 .collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"));
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
             let drop_count = step.min(remaining.len() - keep);
             let mut to_drop: Vec<usize> = ranked[..drop_count].iter().map(|(k, _)| *k).collect();
             to_drop.sort_unstable_by(|a, b| b.cmp(a));

@@ -12,7 +12,7 @@ use crate::edac::{EdacKind, EdacLog, EdacRecord};
 use crate::faults::sram::{WeakCellMap, WORDS_PER_LINE};
 use crate::topology::{CacheLevel, CoreId, Protection, LINE_BYTES, NUM_CORES, NUM_PMDS};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Associativity used for every level (8-way, typical of the design).
 pub const WAYS: u8 = 8;
@@ -70,7 +70,7 @@ pub struct SetAssocCache {
     /// Weak cells already reported this run (dedupe: EDAC logs a location
     /// once per scrub interval, not once per access).
     #[serde(skip)]
-    reported: HashSet<(u32, u8, u8)>,
+    reported: BTreeSet<(u32, u8, u8)>,
 }
 
 impl SetAssocCache {
@@ -100,7 +100,7 @@ impl SetAssocCache {
             dirty: vec![false; slots],
             stamp: 0,
             weak: WeakCellMap::generate(spec, level, instance as usize, sets, WAYS),
-            reported: HashSet::new(),
+            reported: BTreeSet::new(),
         }
     }
 

@@ -191,11 +191,8 @@ impl VariationMap {
     #[must_use]
     pub fn most_robust_core(&self) -> CoreId {
         CoreId::all()
-            .min_by(|a, b| {
-                self.core_offset_mv(*a)
-                    .partial_cmp(&self.core_offset_mv(*b))
-                    .expect("offsets are finite")
-            })
+            .min_by(|a, b| self.core_offset_mv(*a).total_cmp(&self.core_offset_mv(*b)))
+            // lint: allow(no-panic) — CoreId::all() is a fixed non-empty topology
             .expect("there is always a core")
     }
 
@@ -203,11 +200,8 @@ impl VariationMap {
     #[must_use]
     pub fn most_sensitive_core(&self) -> CoreId {
         CoreId::all()
-            .max_by(|a, b| {
-                self.core_offset_mv(*a)
-                    .partial_cmp(&self.core_offset_mv(*b))
-                    .expect("offsets are finite")
-            })
+            .max_by(|a, b| self.core_offset_mv(*a).total_cmp(&self.core_offset_mv(*b)))
+            // lint: allow(no-panic) — CoreId::all() is a fixed non-empty topology
             .expect("there is always a core")
     }
 }

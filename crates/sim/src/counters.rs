@@ -219,10 +219,9 @@ impl CounterFile {
     pub fn rate(&self, numerator: PmuEvent, denominator: PmuEvent) -> f64 {
         let d = self.get(denominator);
         if d == 0 {
-            0.0
-        } else {
-            self.get(numerator) as f64 / d as f64
+            return 0.0;
         }
+        self.get(numerator) as f64 / d as f64
     }
 
     /// Accumulates another counter file into this one.

@@ -20,7 +20,7 @@ use crate::topology::{CacheLevel, LINE_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of 64-bit data words in one cache line.
 pub const WORDS_PER_LINE: u8 = (LINE_BYTES / 8) as u8;
@@ -50,7 +50,7 @@ pub struct WeakCellMap {
     level: CacheLevel,
     cells: Vec<WeakCell>,
     /// Lookup from (set, way) to indices into `cells`.
-    by_location: HashMap<(u32, u8), Vec<u32>>,
+    by_location: BTreeMap<(u32, u8), Vec<u32>>,
 }
 
 impl WeakCellMap {
@@ -88,7 +88,7 @@ impl WeakCellMap {
                 vfail_mv,
             });
         }
-        let mut by_location: HashMap<(u32, u8), Vec<u32>> = HashMap::new();
+        let mut by_location: BTreeMap<(u32, u8), Vec<u32>> = BTreeMap::new();
         for (i, c) in cells.iter().enumerate() {
             by_location
                 .entry((c.set, c.way))

@@ -447,6 +447,7 @@ impl<'a> Machine<'a> {
 
         // The actual data movement.
         let mut result = if write {
+            // lint: allow(no-panic) — every store call site passes Some(value)
             let v = value.expect("store carries a value");
             self.mem[addr.0 as usize] = v;
             v

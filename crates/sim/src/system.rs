@@ -17,7 +17,7 @@ use crate::power::{EnergyMeter, OperatingPoint, PowerModel};
 use crate::program::{OutputDigest, Program};
 use crate::thermal::ThermalModel;
 use crate::topology::{CoreId, PmdId, NUM_PMDS};
-use crate::volt::SupplyState;
+use crate::volt::{Millivolts, SupplyState};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -78,10 +78,10 @@ pub struct RunRecord {
     pub dataset: String,
     /// Core the benchmark ran on.
     pub core: CoreId,
-    /// PMD-rail voltage during the run (mV).
-    pub pmd_mv: u32,
-    /// PCP/SoC-rail voltage during the run (mV).
-    pub soc_mv: u32,
+    /// PMD-rail voltage during the run.
+    pub pmd_mv: Millivolts,
+    /// PCP/SoC-rail voltage during the run.
+    pub soc_mv: Millivolts,
     /// Frequency of the core's PMD.
     pub freq: Megahertz,
     /// Completion status.
@@ -326,8 +326,8 @@ impl System {
             program: program.name().to_owned(),
             dataset: program.dataset().to_owned(),
             core,
-            pmd_mv: self.supplies.pmd().get(),
-            soc_mv: self.supplies.soc().get(),
+            pmd_mv: self.supplies.pmd(),
+            soc_mv: self.supplies.soc(),
             freq,
             outcome,
             digest,
@@ -459,7 +459,7 @@ mod tests {
             .set_pmd_voltage(Millivolts::new(940))
             .unwrap();
         let r = s.run(&TinyLoop, CoreId::new(5), 0).unwrap();
-        assert_eq!(r.pmd_mv, 940);
+        assert_eq!(r.pmd_mv, Millivolts::new(940));
         assert_eq!(r.freq, MAX_FREQ);
         assert_eq!(r.core, CoreId::new(5));
         assert_eq!(r.program, "tiny-loop");

@@ -75,7 +75,7 @@ fn measured_staircase_matches_the_paper_shape() {
     // The no-loss point sits in the measured Vmin band (≈900–930 mV on the
     // sensitive PMDs) and saves ≥10%.
     let no_loss = &points[1];
-    assert!(no_loss.relative_performance == 1.0);
+    assert!(no_loss.relative_performance >= 1.0);
     assert!(
         (890..=935).contains(&no_loss.voltage.get()),
         "{}",
