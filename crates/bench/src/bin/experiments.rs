@@ -1,9 +1,12 @@
 //! The experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p margins-bench --bin experiments -- [--quick] <id>...
+//! cargo run --release -p margins-bench --bin experiments -- [--quick] [--trace-dir DIR] <id>...
 //! cargo run --release -p margins-bench --bin experiments -- all
 //! ```
+//!
+//! With `--trace-dir`, the shared figure-3/4 characterization writes one
+//! deterministic JSONL telemetry stream per chip into the directory.
 //!
 //! Experiment ids: `table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4
 //! case1 fig7 fig8 fig9 headline sec6 socrail all`.
@@ -16,15 +19,30 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trace-dir" => match it.next() {
+                Some(dir) => trace_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace-dir needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+            other => ids.push(other),
+        }
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail all"
+            "usage: experiments [--quick] [--trace-dir DIR] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail all"
         );
         std::process::exit(2);
     }
@@ -53,7 +71,22 @@ fn main() {
         .any(|id| want(id));
     let characterizations = if needs_chars {
         let t0 = Instant::now();
-        let c = fig34::characterize_all(&scale);
+        if let Some(dir) = &trace_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("--trace-dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        let c = match fig34::characterize_all_traced(&scale, trace_dir.as_deref()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("--trace-dir: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(dir) = &trace_dir {
+            eprintln!("[trace streams written to {}]", dir.display());
+        }
         eprintln!(
             "[characterized 3 chips in {:.1}s]",
             t0.elapsed().as_secs_f64()

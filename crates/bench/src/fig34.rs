@@ -20,6 +20,16 @@ pub struct ChipCharacterization {
 /// Runs the Figure 3/4 characterization for one chip at the given scale.
 #[must_use]
 pub fn characterize_chip(spec: ChipSpec, scale: &Scale) -> ChipCharacterization {
+    characterize_chip_traced(spec, scale, &mut [])
+}
+
+/// Like [`characterize_chip`], but streams the campaign's telemetry into
+/// `sinks` (an empty slice disables tracing entirely).
+pub fn characterize_chip_traced(
+    spec: ChipSpec,
+    scale: &Scale,
+    sinks: &mut [&mut dyn margins_trace::Sink],
+) -> ChipCharacterization {
     let config = CampaignConfig::builder()
         .benchmarks(scale.fig4_benchmarks.iter().copied())
         .cores(scale.fig4_cores.iter().copied())
@@ -30,7 +40,7 @@ pub fn characterize_chip(spec: ChipSpec, scale: &Scale) -> ChipCharacterization 
         .seed(0xF164)
         .build()
         .expect("figure-4 configuration is valid");
-    let outcome = Campaign::new(spec, config).execute_parallel(scale.threads);
+    let outcome = Campaign::new(spec, config).execute_traced(scale.threads, sinks);
     ChipCharacterization {
         spec,
         result: analyze(&outcome, &SeverityWeights::paper()),
@@ -40,10 +50,35 @@ pub fn characterize_chip(spec: ChipSpec, scale: &Scale) -> ChipCharacterization 
 /// Runs the characterization for all three reference chips.
 #[must_use]
 pub fn characterize_all(scale: &Scale) -> Vec<ChipCharacterization> {
-    crate::chips::all()
-        .into_iter()
-        .map(|spec| characterize_chip(spec, scale))
-        .collect()
+    characterize_all_traced(scale, None).expect("tracing disabled, no IO to fail")
+}
+
+/// Runs the characterization for all three reference chips, writing one
+/// deterministic JSONL telemetry stream per chip into `trace_dir` when one
+/// is given (`fig34-<chip>.jsonl`).
+///
+/// # Errors
+///
+/// Returns the first IO error hit while creating or writing a trace file.
+pub fn characterize_all_traced(
+    scale: &Scale,
+    trace_dir: Option<&std::path::Path>,
+) -> std::io::Result<Vec<ChipCharacterization>> {
+    let mut out = Vec::new();
+    for spec in crate::chips::all() {
+        match trace_dir {
+            Some(dir) => {
+                let name = format!("fig34-{}.jsonl", spec.to_string().replace('#', "-"));
+                let file = std::fs::File::create(dir.join(name))?;
+                let mut sink = margins_trace::JsonlSink::new(std::io::BufWriter::new(file));
+                let c = characterize_chip_traced(spec, scale, &mut [&mut sink]);
+                sink.into_inner()?;
+                out.push(c);
+            }
+            None => out.push(characterize_chip(spec, scale)),
+        }
+    }
+    Ok(out)
 }
 
 /// The Figure 3 report: per benchmark and per chip, the safe Vmin of the

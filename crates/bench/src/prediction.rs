@@ -131,7 +131,8 @@ fn evaluate(
 pub fn severity_prediction(spec: ChipSpec, core: CoreId, scale: &Scale) -> PredictionOutcome {
     let benchmarks = prediction_benchmarks(scale);
     let result = characterize_core(spec, core, &benchmarks, scale);
-    let profiles = profile(spec, &benchmarks, core);
+    let profiles =
+        profile(spec, &benchmarks, core).expect("prediction benchmark names are suite names");
     let samples = severity_samples(&result, &profiles, core);
     let (x, y) = to_matrix(&samples);
     evaluate(&x, &y, &severity_feature_names(), core, 0x51_EA7)
@@ -142,7 +143,8 @@ pub fn severity_prediction(spec: ChipSpec, core: CoreId, scale: &Scale) -> Predi
 pub fn vmin_prediction(spec: ChipSpec, core: CoreId, scale: &Scale) -> PredictionOutcome {
     let benchmarks = prediction_benchmarks(scale);
     let result = characterize_core(spec, core, &benchmarks, scale);
-    let profiles = profile(spec, &benchmarks, core);
+    let profiles =
+        profile(spec, &benchmarks, core).expect("prediction benchmark names are suite names");
     let samples = vmin_samples(&result, &profiles, core);
     let (x, y) = to_matrix(&samples);
     evaluate(&x, &y, &vmin_feature_names(), core, 0x7_1117)

@@ -141,7 +141,7 @@ mod tests {
         let spec = ChipSpec::new(Corner::Ttt, 0);
         let out = Campaign::new(spec, cfg.clone()).execute();
         let result = crate::regions::analyze(&out, &SeverityWeights::paper());
-        let profiles = profile(spec, &cfg.benchmarks, CoreId::new(0));
+        let profiles = profile(spec, &cfg.benchmarks, CoreId::new(0)).expect("validated names");
         (result, profiles)
     }
 

@@ -62,5 +62,5 @@ pub use classify::ClassifiedRun;
 pub use config::CampaignConfig;
 pub use effect::{Effect, EffectSet};
 pub use regions::{CharacterizationResult, RegionKind, SweepSummary};
-pub use runner::Campaign;
+pub use runner::{Campaign, UnknownBenchmark};
 pub use severity::{Severity, SeverityWeights};

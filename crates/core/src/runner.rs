@@ -11,11 +11,14 @@
 use crate::classify::{classify_run, ClassifiedRun};
 use crate::config::SweptRail;
 use crate::config::{BenchmarkRef, CampaignConfig};
+use crate::severity::SeverityWeights;
 use crate::watchdog::Watchdog;
 use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
 use margins_sim::{ChipSpec, CoreId, CounterFile, OutputDigest, PmdId, System, SystemConfig};
+use margins_trace::{EventBuffer, Sink, StreamFinalizer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A characterization campaign: one chip, one configuration.
 #[derive(Debug, Clone)]
@@ -65,11 +68,35 @@ impl Campaign {
     }
 
     /// Executes the campaign sharded over `threads` worker threads, one
-    /// simulated board per worker. Results are bit-identical to the serial
-    /// execution: run seeds depend only on (campaign seed, benchmark, core,
-    /// voltage, iteration), never on scheduling.
+    /// pristine simulated board per work item. Results are bit-identical to
+    /// the serial execution: run seeds depend only on (campaign seed,
+    /// benchmark, core, voltage, iteration), and every sweep starts from
+    /// power-on state, never from another item's board history.
     #[must_use]
     pub fn execute_parallel(&self, threads: usize) -> CampaignOutcome {
+        self.execute_traced(threads, &mut [])
+    }
+
+    /// Executes the campaign sharded over `threads` workers while streaming
+    /// telemetry into `sinks`.
+    ///
+    /// Every sink receives the same finalized record stream, live and in
+    /// canonical order: the campaign preamble (`CampaignStarted`, one
+    /// `ShardScheduled` per (benchmark, core) work item — the *logical*
+    /// shard; which worker thread executes it is an execution detail the
+    /// trace never records), then each item's events in item order —
+    /// benchmarks-major, exactly the order the serial execution visits
+    /// them — then the `CampaignFinished` summary.
+    /// Workers stage their events in per-item buffers; the merge thread
+    /// releases an item's events as soon as its place in the canonical
+    /// order is reached, so the stream is *byte-deterministic* for a fixed
+    /// (chip, configuration) regardless of `threads` or scheduling, while
+    /// progress sinks still see events during the campaign.
+    ///
+    /// Passing no sinks disables tracing entirely: no event is ever
+    /// constructed, and campaign results are identical either way.
+    #[must_use]
+    pub fn execute_traced(&self, threads: usize, sinks: &mut [&mut dyn Sink]) -> CampaignOutcome {
         let items: Vec<(usize, CoreId)> = self
             .config
             .benchmarks
@@ -79,37 +106,76 @@ impl Campaign {
             .collect();
         let threads = threads.clamp(1, items.len().max(1));
 
-        let mut shards: Vec<Vec<(usize, CoreId)>> = vec![Vec::new(); threads];
-        for (i, item) in items.iter().enumerate() {
-            shards[i % threads].push(*item);
+        // Shard work items round-robin, remembering each item's canonical
+        // position so the merge below can reorder completions.
+        let mut shards: Vec<Vec<(usize, usize, CoreId)>> = vec![Vec::new(); threads];
+        for (i, (bench_idx, core)) in items.iter().enumerate() {
+            shards[i % threads].push((i, *bench_idx, *core));
+        }
+        let traced = !sinks.is_empty();
+
+        let mut finalizer = StreamFinalizer::new();
+        if traced {
+            emit_record(
+                &mut finalizer,
+                sinks,
+                TraceEvent::CampaignStarted {
+                    chip: self.spec.to_string(),
+                    rail: self.rail_name().to_owned(),
+                    benchmarks: self.config.benchmarks.len() as u32,
+                    cores: self.config.cores.len() as u32,
+                    steps: self.config.step_count(),
+                    iterations: self.config.iterations,
+                    shards: items.len() as u32,
+                    seed: self.config.seed,
+                },
+            );
+            // The schedule announces *logical* shards (one per work item,
+            // in canonical order) so the preamble is byte-identical no
+            // matter how many worker threads execute it.
+            for (item_idx, _) in items.iter().enumerate() {
+                emit_record(
+                    &mut finalizer,
+                    sinks,
+                    TraceEvent::ShardScheduled {
+                        shard: item_idx as u32,
+                        items: self.config.step_count() * self.config.iterations,
+                    },
+                );
+            }
         }
 
-        let shard_results: Vec<ShardResult> = if threads == 1 {
-            vec![self.run_shard(&shards[0])]
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| scope.spawn(move |_| self.run_shard(shard)))
-                    .collect();
-                handles
-                    .into_iter()
-                    // lint: allow(no-panic) — a panicked worker already lost campaign data
-                    .map(|h| h.join().expect("campaign worker panicked"))
-                    .collect()
-            })
-            // lint: allow(no-panic) — scope error only surfaces worker panics
-            .expect("campaign scope panicked")
-        };
-
-        let mut runs = Vec::new();
+        let mut runs: Vec<ClassifiedRun> = Vec::new();
         let mut goldens = BTreeMap::new();
-        let mut power_cycles = 0;
-        for shard in shard_results {
-            runs.extend(shard.runs);
-            goldens.extend(shard.goldens);
-            power_cycles += shard.power_cycles;
-        }
+        let mut power_cycles = 0u32;
+        crossbeam::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, TracedItem)>();
+            for shard in &shards {
+                let tx = tx.clone();
+                scope.spawn(move |_| self.run_shard_items(shard, traced, &tx));
+            }
+            drop(tx);
+
+            // Reorder buffer: completions arrive in scheduling order; emit
+            // and accumulate them in canonical item order.
+            let mut pending: BTreeMap<usize, TracedItem> = BTreeMap::new();
+            let mut next = 0usize;
+            for (idx, item) in rx {
+                pending.insert(idx, item);
+                while let Some(ready) = pending.remove(&next) {
+                    for event in ready.events {
+                        emit_record(&mut finalizer, sinks, event);
+                    }
+                    goldens.insert(ready.golden_key, ready.golden);
+                    runs.extend(ready.runs);
+                    power_cycles += ready.power_cycles;
+                    next += 1;
+                }
+            }
+        })
+        // lint: allow(no-panic) — scope error only surfaces worker panics
+        .expect("campaign worker panicked");
+
         let rail = self.config.rail;
         runs.sort_by(|a, b| {
             (
@@ -127,6 +193,20 @@ impl Campaign {
                     b.iteration,
                 ))
         });
+        if traced {
+            let total = runs.len() as u64;
+            emit_record(
+                &mut finalizer,
+                sinks,
+                TraceEvent::CampaignFinished {
+                    runs: total,
+                    power_cycles,
+                },
+            );
+            for sink in sinks.iter_mut() {
+                sink.finish();
+            }
+        }
         CampaignOutcome {
             spec: self.spec,
             config: self.config.clone(),
@@ -136,25 +216,65 @@ impl Campaign {
         }
     }
 
-    fn run_shard(&self, items: &[(usize, CoreId)]) -> ShardResult {
+    /// The serialized name of the swept rail in trace events.
+    fn rail_name(&self) -> &'static str {
+        match self.config.rail {
+            SweptRail::Pmd => "pmd",
+            SweptRail::PcpSoc => "soc",
+        }
+    }
+
+    fn run_shard_items(
+        &self,
+        items: &[(usize, usize, CoreId)],
+        traced: bool,
+        tx: &crossbeam::channel::Sender<(usize, TracedItem)>,
+    ) {
         let sys_config = SystemConfig {
             enhancements: self.config.enhancements,
             ..SystemConfig::default()
         };
-        let mut system = System::new(self.spec, sys_config);
-        let mut watchdog = Watchdog::new();
-        let mut result = ShardResult::default();
-        for (bench_idx, core) in items {
+        for (global_idx, bench_idx, core) in items {
+            // A pristine board per work item — the §2.2.1 initialization
+            // phase. Starting every sweep from power-on state keeps all
+            // modelled quantities (golden runtime, thermal history)
+            // independent of which items a worker ran before, so traced
+            // streams match across serial and sharded schedules.
+            let mut system = System::new(self.spec, sys_config);
+            let mut watchdog = Watchdog::new();
             let bench = &self.config.benchmarks[*bench_idx];
+            let buffer = Arc::new(EventBuffer::new());
+            if traced {
+                system.set_observer(buffer.clone());
+                system.observe(|| TraceEvent::SweepStarted {
+                    program: bench.name.clone(),
+                    dataset: bench.dataset.label().to_owned(),
+                    core: core.index() as u8,
+                    shard: *global_idx as u32,
+                });
+            }
             let sweep = self.sweep(&mut system, &mut watchdog, bench, *core);
-            result.goldens.insert(
-                (bench.name.clone(), bench.dataset.label().to_owned()),
-                sweep.golden,
-            );
-            result.runs.extend(sweep.runs);
+            if traced {
+                let sweep_runs = sweep.runs.len() as u32;
+                system.observe(|| TraceEvent::SweepFinished {
+                    program: bench.name.clone(),
+                    dataset: bench.dataset.label().to_owned(),
+                    core: core.index() as u8,
+                    runs: sweep_runs,
+                });
+                system.clear_observer();
+            }
+            let item = TracedItem {
+                events: buffer.drain(),
+                golden_key: (bench.name.clone(), bench.dataset.label().to_owned()),
+                golden: sweep.golden,
+                runs: sweep.runs,
+                power_cycles: watchdog.power_cycles(),
+            };
+            // A closed receiver means the campaign was abandoned; nothing
+            // useful remains to do with this item's result.
+            let _ = tx.send((*global_idx, item));
         }
-        result.power_cycles = watchdog.power_cycles();
-        result
     }
 
     /// The downward sweep for one (benchmark, core) pair.
@@ -169,7 +289,8 @@ impl Campaign {
             // lint: allow(no-panic) — benchmark names validated at config build time
             .expect("benchmark validated at config build time");
 
-        watchdog.ensure_responsive(system);
+        let mut recoveries = 0u32;
+        watchdog.ensure_responsive_observed(system, &mut recoveries);
         self.apply_reliable_cores_setup(system, core);
 
         // Golden run at nominal conditions.
@@ -183,7 +304,7 @@ impl Campaign {
         );
         let golden_record = system
             .run(program.as_ref(), core, golden_seed)
-            // lint: allow(no-panic) — watchdog.ensure_responsive() ran just above
+            // lint: allow(no-panic) — watchdog.ensure_responsive_observed() ran just above
             .expect("system responsive after watchdog check");
         assert_eq!(
             golden_record.outcome,
@@ -191,13 +312,25 @@ impl Campaign {
             "golden run at nominal must complete"
         );
         let golden = golden_record.digest;
+        system.observe(|| TraceEvent::GoldenCaptured {
+            program: bench.name.clone(),
+            dataset: bench.dataset.label().to_owned(),
+            core: core.index() as u8,
+            digest: golden.to_string(),
+            runtime_s: golden_record.runtime_s,
+        });
 
-        let mut runs = Vec::new();
+        let mut runs: Vec<ClassifiedRun> = Vec::new();
         let mut consecutive_all_sc = 0u32;
-        for voltage in self.config.sweep_voltages() {
+        for (step, voltage) in self.config.sweep_voltages().enumerate() {
+            system.observe(|| TraceEvent::VoltageStepped {
+                rail: self.rail_name().to_owned(),
+                mv: voltage.get(),
+                step: step as u32,
+            });
             let mut sc_runs = 0u32;
             for iteration in 0..self.config.iterations {
-                if watchdog.ensure_responsive(system) {
+                if watchdog.ensure_responsive_observed(system, &mut recoveries) {
                     // Recovery wiped the V/F setup; reapply it.
                     self.apply_reliable_cores_setup(system, core);
                 }
@@ -212,7 +345,7 @@ impl Campaign {
                 );
                 let record = system
                     .run(program.as_ref(), core, seed)
-                    // lint: allow(no-panic) — watchdog.ensure_responsive() ran this iteration
+                    // lint: allow(no-panic) — watchdog.ensure_responsive_observed() ran this iteration
                     .expect("ensured responsive before the run");
                 // Safe data collection: restore nominal before persisting
                 // the log (§2.2.1) — only possible if the board survived.
@@ -228,6 +361,19 @@ impl Campaign {
                 if classified.effects.is_system_crash() {
                     sc_runs += 1;
                 }
+                system.observe(|| TraceEvent::RunCompleted {
+                    program: classified.program.clone(),
+                    dataset: classified.dataset.clone(),
+                    core: core.index() as u8,
+                    mv: voltage.get(),
+                    iteration,
+                    effects: classified.effects.to_string(),
+                    severity: SeverityWeights::paper().run_severity(classified.effects),
+                    runtime_s: classified.runtime_s,
+                    energy_j: classified.energy_j,
+                    corrected_errors: classified.corrected_errors as u64,
+                    uncorrected_errors: classified.uncorrected_errors as u64,
+                });
                 runs.push(classified);
             }
             if sc_runs == self.config.iterations {
@@ -238,9 +384,21 @@ impl Campaign {
             if self.config.crash_stop_steps > 0
                 && consecutive_all_sc >= self.config.crash_stop_steps
             {
+                system.observe(|| TraceEvent::EarlyStop {
+                    program: bench.name.clone(),
+                    core: core.index() as u8,
+                    mv: voltage.get(),
+                    consecutive_all_sc,
+                });
                 break;
             }
         }
+        // Leave the board responsive before handing it to the next item, so
+        // a trailing hang is recovered — and traced — inside the sweep that
+        // caused it. Attributing the recovery to the hanging sweep (instead
+        // of the next item's setup, which differs between serial and
+        // sharded schedules) keeps traced streams scheduling-independent.
+        watchdog.ensure_responsive_observed(system, &mut recoveries);
         SweepRuns { golden, runs }
     }
 
@@ -379,11 +537,22 @@ impl std::fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
-#[derive(Default)]
-struct ShardResult {
+/// One completed work item, as delivered from a shard worker to the merge
+/// thread: the item's staged trace events plus its share of the outcome.
+struct TracedItem {
+    events: Vec<TraceEvent>,
+    golden_key: (String, String),
+    golden: OutputDigest,
     runs: Vec<ClassifiedRun>,
-    goldens: BTreeMap<(String, String), OutputDigest>,
     power_cycles: u32,
+}
+
+/// Seals `event` into the canonical stream and fans it out to every sink.
+fn emit_record(finalizer: &mut StreamFinalizer, sinks: &mut [&mut dyn Sink], event: TraceEvent) {
+    let record = finalizer.seal(event);
+    for sink in sinks.iter_mut() {
+        sink.emit(&record);
+    }
 }
 
 struct SweepRuns {
@@ -409,29 +578,57 @@ pub struct WorkloadProfile {
     pub cycles: u64,
 }
 
+/// Error returned by [`profile`] when a benchmark name is not in the
+/// workload suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark {
+    /// The unresolvable benchmark name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark '{}'", self.name)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
 /// Profiles `benchmarks` at nominal conditions on `core` of a fresh chip
 /// (§4.1: "collecting the performance counters of the entire benchmarks
 /// using perf").
-#[must_use]
-pub fn profile(spec: ChipSpec, benchmarks: &[BenchmarkRef], core: CoreId) -> Vec<WorkloadProfile> {
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmark`] when a benchmark name does not resolve in
+/// `margins_workloads::suite` — unlike campaign execution, `profile` takes
+/// benchmark lists that never went through config validation.
+pub fn profile(
+    spec: ChipSpec,
+    benchmarks: &[BenchmarkRef],
+    core: CoreId,
+) -> Result<Vec<WorkloadProfile>, UnknownBenchmark> {
     let mut system = System::new(spec, SystemConfig::default());
     benchmarks
         .iter()
         .map(|b| {
-            let program = margins_workloads::suite::by_name(&b.name, b.dataset)
-                .unwrap_or_else(|| panic!("unknown benchmark '{}'", b.name));
+            let program = margins_workloads::suite::by_name(&b.name, b.dataset).ok_or_else(
+                || UnknownBenchmark {
+                    name: b.name.clone(),
+                },
+            )?;
             let record = system
                 .run(program.as_ref(), core, 0x0090_F11E)
                 // lint: allow(no-panic) — a fresh system at nominal V/F is responsive
                 .expect("nominal profiling never crashes the board");
-            WorkloadProfile {
+            Ok(WorkloadProfile {
                 name: b.name.clone(),
                 dataset: b.dataset.label().to_owned(),
                 counters: record.counters,
                 golden: record.digest,
                 runtime_s: record.runtime_s,
                 cycles: record.cycles,
-            }
+            })
         })
         .collect()
 }
@@ -555,13 +752,78 @@ mod tests {
                 dataset: margins_workloads::Dataset::Ref,
             },
         ];
-        let profiles = profile(ChipSpec::new(Corner::Ttt, 0), &benches, CoreId::new(0));
+        let profiles =
+            profile(ChipSpec::new(Corner::Ttt, 0), &benches, CoreId::new(0)).expect("suite names");
         assert_eq!(profiles.len(), 2);
         for p in &profiles {
             assert!(p.counters.get(margins_sim::PmuEvent::InstRetired) > 0);
             assert!(p.cycles > 0);
         }
         assert_ne!(profiles[0].golden, profiles[1].golden);
+    }
+
+    #[test]
+    fn profiling_unknown_benchmark_is_an_error_not_a_panic() {
+        let benches = vec![BenchmarkRef {
+            name: "no-such-benchmark".into(),
+            dataset: margins_workloads::Dataset::Ref,
+        }];
+        let err = profile(ChipSpec::new(Corner::Ttt, 0), &benches, CoreId::new(0)).unwrap_err();
+        assert_eq!(err.name, "no-such-benchmark");
+        assert!(err.to_string().contains("no-such-benchmark"));
+    }
+
+    #[test]
+    fn traced_execution_streams_a_valid_stream_and_matches_outcome() {
+        let cfg = tiny_config("bwaves", 0, 915, 895, 2);
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+
+        let mut memory = margins_trace::MemorySink::new();
+        let mut jsonl = margins_trace::JsonlSink::new(Vec::new());
+        let traced = {
+            let mut sinks: [&mut dyn margins_trace::Sink; 2] = [&mut memory, &mut jsonl];
+            campaign.execute_traced(1, &mut sinks)
+        };
+        let untraced = campaign.execute();
+
+        // Tracing must not perturb campaign results.
+        assert_eq!(traced.runs.len(), untraced.runs.len());
+        for (a, b) in traced.runs.iter().zip(&untraced.runs) {
+            assert_eq!((&a.program, a.core, a.pmd_mv, a.iteration), (
+                &b.program, b.core, b.pmd_mv, b.iteration
+            ));
+            assert_eq!(a.effects, b.effects);
+        }
+        assert_eq!(traced.goldens, untraced.goldens);
+        assert_eq!(traced.watchdog_power_cycles, untraced.watchdog_power_cycles);
+
+        // The serialized stream validates structurally.
+        let bytes = jsonl.into_inner().expect("in-memory writer");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let stats = margins_trace::validate_jsonl(&text).expect("structurally valid stream");
+        assert_eq!(stats.records as usize, memory.records.len());
+        assert_eq!(stats.runs as usize, traced.runs.len());
+        assert_eq!(stats.campaigns, 1);
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.power_cycles, u64::from(traced.watchdog_power_cycles));
+
+        // Per-run events carry classification and severity verbatim.
+        let weights = SeverityWeights::paper();
+        let completed: Vec<_> = memory
+            .records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::RunCompleted {
+                    effects, severity, ..
+                } => Some((effects.clone(), *severity)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed.len(), traced.runs.len());
+        for ((effects, severity), run) in completed.iter().zip(&traced.runs) {
+            assert_eq!(*effects, run.effects.to_string());
+            assert!((severity - weights.run_severity(run.effects)).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -41,6 +41,29 @@ impl Watchdog {
         }
     }
 
+    /// Like [`Watchdog::ensure_responsive`], additionally reporting a
+    /// [`margins_trace::TraceEvent::WatchdogPowerCycle`] through the
+    /// system's attached observer when a recovery is performed.
+    ///
+    /// `sweep_recoveries` is the caller's per-sweep recovery counter; it is
+    /// incremented on recovery and its new value becomes the event's
+    /// ordinal. The ordinal is sweep-relative (never the board's boot
+    /// count) so traced streams stay identical between serial and sharded
+    /// executions.
+    pub fn ensure_responsive_observed(
+        &mut self,
+        system: &mut System,
+        sweep_recoveries: &mut u32,
+    ) -> bool {
+        let recovered = self.ensure_responsive(system);
+        if recovered {
+            *sweep_recoveries += 1;
+            let recovery = *sweep_recoveries;
+            system.observe(|| margins_trace::TraceEvent::WatchdogPowerCycle { recovery });
+        }
+        recovered
+    }
+
     /// Number of power cycles performed so far.
     #[must_use]
     pub fn power_cycles(&self) -> u32 {

@@ -7,10 +7,12 @@
 //! serially or sharded over worker threads.
 
 use margins_core::config::CampaignConfig;
-use margins_core::runner::Campaign;
+use margins_core::runner::{Campaign, CampaignOutcome};
 use margins_core::severity::SeverityWeights;
 use margins_core::{regions, report};
 use margins_sim::{ChipSpec, CoreId, Corner, Millivolts};
+use margins_trace::{JsonlSink, MetricsRegistry, Sink};
+use std::collections::BTreeMap;
 
 fn campaign() -> Campaign {
     let cfg = CampaignConfig::builder()
@@ -42,31 +44,97 @@ fn repeated_runs_render_byte_identical_csv() {
 
 #[test]
 fn sharded_execution_renders_the_serial_csv() {
-    // Sharding respawns one simulated board per worker, so the accumulated
-    // thermal history — and with it the trailing energy_j column — may
-    // legitimately differ in its last digits. Every other column (outcomes,
-    // effects, voltages, counters-derived runtime) must match byte for byte.
+    // Every work item runs on a pristine board, so even history-sensitive
+    // quantities (thermal state, and with it the energy_j column) are
+    // schedule-independent: the full CSV — outcomes, effects, voltages,
+    // runtime AND energy — must match byte for byte.
     let serial = campaign().execute();
     let sharded = campaign().execute_parallel(4);
-    let strip_energy = |csv: &str| -> String {
-        csv.lines()
-            .map(|l| match l.rfind(',') {
-                Some(i) => &l[..i],
-                None => l,
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
     assert_eq!(
-        strip_energy(&report::runs_csv(&serial)),
-        strip_energy(&report::runs_csv(&sharded)),
-        "sharding must not change any report column except energy_j"
+        report::runs_csv(&serial),
+        report::runs_csv(&sharded),
+        "sharding must not change any report column, energy_j included"
     );
     // And sharding is itself reproducible: same shard count, same bytes.
     assert_eq!(
         report::runs_csv(&sharded),
         report::runs_csv(&campaign().execute_parallel(4))
     );
+}
+
+fn traced_jsonl(threads: usize) -> (String, CampaignOutcome) {
+    let mut sink = JsonlSink::new(Vec::new());
+    let outcome = {
+        let mut sinks: [&mut dyn Sink; 1] = [&mut sink];
+        campaign().execute_traced(threads, &mut sinks)
+    };
+    let bytes = sink.into_inner().expect("Vec writer cannot fail");
+    (String::from_utf8(bytes).expect("JSONL is UTF-8"), outcome)
+}
+
+#[test]
+fn traced_serial_and_sharded_streams_are_byte_identical() {
+    // The telemetry stream is part of the campaign's deterministic output:
+    // the same seed must produce the same bytes no matter how the work was
+    // sharded, and tracing must not perturb the campaign itself.
+    let (serial, serial_out) = traced_jsonl(1);
+    let (sharded, sharded_out) = traced_jsonl(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, sharded,
+        "serial and 4-way-sharded campaigns must write byte-identical JSONL"
+    );
+
+    // Tracing leaves the classified outcome untouched (energy aside, which
+    // depends on per-board thermal history exactly as in the CSV test).
+    let untraced = campaign().execute();
+    assert_eq!(report::runs_csv(&serial_out), report::runs_csv(&untraced));
+    assert_eq!(serial_out.goldens, sharded_out.goldens);
+    assert_eq!(
+        serial_out.watchdog_power_cycles,
+        sharded_out.watchdog_power_cycles
+    );
+
+    // And the stream is structurally valid: dense sequence numbers, a
+    // monotone modelled clock, properly nested campaign/sweep spans.
+    let stats = margins_trace::validate_jsonl(&serial).expect("stream validates");
+    assert_eq!(stats.campaigns, 1);
+    assert_eq!(stats.sweeps, 4, "2 benchmarks x 2 cores");
+    assert_eq!(stats.runs as usize, serial_out.runs.len());
+    assert_eq!(stats.records as usize, serial.lines().count());
+}
+
+#[test]
+fn metrics_registry_reconciles_with_the_outcome() {
+    let mut metrics = MetricsRegistry::new();
+    let outcome = {
+        let mut sinks: [&mut dyn Sink; 1] = [&mut metrics];
+        campaign().execute_traced(4, &mut sinks)
+    };
+
+    assert_eq!(metrics.counter("campaigns"), 1);
+    assert_eq!(metrics.counter("sweeps"), 4);
+    assert_eq!(metrics.counter("goldens_captured"), 4);
+    assert_eq!(metrics.counter("runs_total"), outcome.runs.len() as u64);
+    assert_eq!(
+        metrics.counter("watchdog_power_cycles"),
+        u64::from(outcome.watchdog_power_cycles)
+    );
+
+    // Effect-class totals must reconcile exactly with the classified runs.
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for run in &outcome.runs {
+        for effect in run.effects.to_string().split('+') {
+            *expected.entry(format!("runs_effect_{effect}")).or_insert(0) += 1;
+        }
+    }
+    let counted: BTreeMap<String, u64> = metrics
+        .counters()
+        .iter()
+        .filter(|(name, _)| name.starts_with("runs_effect_"))
+        .map(|(name, value)| (name.clone(), *value))
+        .collect();
+    assert_eq!(expected, counted);
 }
 
 #[test]

@@ -110,6 +110,29 @@ impl Governor {
         decision.energy_savings = crate::model::energy_savings(decision.relative_power);
         Some(decision)
     }
+
+    /// Like [`Governor::decide`], but reports any decision made to
+    /// `observer` as a [`TraceEvent::VoltageDecision`] — the governor's
+    /// contribution to a campaign telemetry stream.
+    ///
+    /// [`TraceEvent::VoltageDecision`]: margins_trace::TraceEvent::VoltageDecision
+    pub fn decide_observed(
+        &self,
+        assignments: &[Assignment],
+        observer: &dyn margins_trace::Observer,
+    ) -> Option<GovernorDecision> {
+        let decision = self.decide(assignments)?;
+        if observer.enabled() {
+            observer.record(&margins_trace::TraceEvent::VoltageDecision {
+                voltage_mv: decision.voltage.get(),
+                guardband_steps: self.policy.guardband_steps,
+                relative_power: decision.relative_power,
+                relative_performance: decision.relative_performance,
+                energy_savings: decision.energy_savings,
+            });
+        }
+        Some(decision)
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +225,40 @@ mod tests {
         let d = g.decide(&a).unwrap();
         assert_eq!(d.voltage, Millivolts::new(925));
         assert!(d.energy_savings < 0.128);
+    }
+
+    #[test]
+    fn observed_decision_matches_decide_and_reports_one_event() {
+        use margins_trace::{EventBuffer, NullObserver, TraceEvent};
+        let (a, t) = table();
+        let g = Governor::new(
+            t,
+            Policy {
+                guardband_steps: 1,
+                max_performance_loss: 0.25,
+            },
+        );
+        let plain = g.decide(&a).unwrap();
+        let buffer = EventBuffer::new();
+        let observed = g.decide_observed(&a, &buffer).unwrap();
+        assert_eq!(plain, observed);
+        let events = buffer.drain();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            TraceEvent::VoltageDecision {
+                voltage_mv,
+                guardband_steps,
+                energy_savings,
+                ..
+            } => {
+                assert_eq!(*voltage_mv, plain.voltage.get());
+                assert_eq!(*guardband_steps, 1);
+                assert!((energy_savings - plain.energy_savings).abs() < 1e-12);
+            }
+            other => panic!("unexpected event {}", other.name()),
+        }
+        // A disabled observer sees nothing and changes nothing.
+        assert_eq!(g.decide_observed(&a, &NullObserver).unwrap(), plain);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! | L5 | `wall-clock` | deterministic crates | no `Instant::now`/`SystemTime::now` |
 //! | L6 | `stale-file` | whole tree | no `*.bak`/`*.orig`/`*.rej` files |
 //!
-//! The *deterministic crates* are `sim`, `core`, `energy` and `predict` —
+//! The *deterministic crates* are `sim`, `core`, `energy`, `predict` and
+//! `trace` —
 //! everything between a campaign seed and a figure. Test code (`tests/`,
 //! `benches/`, `examples/`, `#[cfg(test)]` modules) is exempt from L1–L5.
 //!

@@ -122,7 +122,7 @@ pub struct Waiver {
 pub struct FileScope {
     /// File lives in test/bench/example context: code rules don't apply.
     pub is_test_context: bool,
-    /// File belongs to a deterministic-path crate (sim/core/energy/predict).
+    /// File belongs to a deterministic-path crate (sim/core/energy/predict/trace).
     pub is_deterministic_path: bool,
 }
 
@@ -136,8 +136,10 @@ pub struct FileOutcome {
 }
 
 /// The crates whose results must be bit-reproducible: the simulator, the
-/// characterization framework, the predictor and the energy models.
-pub const DETERMINISTIC_CRATES: [&str; 4] = ["sim", "core", "energy", "predict"];
+/// characterization framework, the predictor, the energy models, and the
+/// trace subsystem (its serialized streams are part of the reproducible
+/// surface).
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "core", "energy", "predict", "trace"];
 
 /// Classifies `rel` (workspace-relative, `/`-separated) into a scope.
 ///
@@ -685,6 +687,8 @@ mod tests {
         assert!(t.is_test_context);
         let b = classify_path("crates/bench/src/lib.rs").unwrap();
         assert!(!b.is_deterministic_path);
+        let tr = classify_path("crates/trace/src/sink.rs").unwrap();
+        assert!(tr.is_deterministic_path && !tr.is_test_context);
         let root = classify_path("src/bin/voltmargin.rs").unwrap();
         assert!(!root.is_deterministic_path && !root.is_test_context);
     }

@@ -57,6 +57,10 @@ impl<'a> SlimPro<'a> {
     pub fn set_pmd_voltage(&mut self, v: Millivolts) -> Result<(), SupplyError> {
         self.sys.supplies.set_pmd(v)?;
         self.sys.log_console(&format!("slimpro: pmd rail -> {v}"));
+        self.sys.observe(|| margins_trace::TraceEvent::RailSet {
+            rail: "pmd".to_owned(),
+            mv: v.get(),
+        });
         Ok(())
     }
 
@@ -68,6 +72,10 @@ impl<'a> SlimPro<'a> {
     pub fn set_soc_voltage(&mut self, v: Millivolts) -> Result<(), SupplyError> {
         self.sys.supplies.set_soc(v)?;
         self.sys.log_console(&format!("slimpro: soc rail -> {v}"));
+        self.sys.observe(|| margins_trace::TraceEvent::RailSet {
+            rail: "soc".to_owned(),
+            mv: v.get(),
+        });
         Ok(())
     }
 

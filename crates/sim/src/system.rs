@@ -10,7 +10,7 @@
 use crate::cache::CacheHierarchy;
 use crate::corner::{ChipSpec, VariationMap};
 use crate::counters::{CounterFile, PmuEvent};
-use crate::edac::EdacLog;
+use crate::edac::{EdacKind, EdacLog};
 use crate::freq::{Megahertz, MAX_FREQ};
 use crate::machine::{Machine, MachineParams, MachineStatus};
 use crate::power::{EnergyMeter, OperatingPoint, PowerModel};
@@ -18,8 +18,10 @@ use crate::program::{OutputDigest, Program};
 use crate::thermal::ThermalModel;
 use crate::topology::{CoreId, PmdId, NUM_PMDS};
 use crate::volt::{Millivolts, SupplyState};
+use margins_trace::{Observer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Static configuration of the simulated board.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -138,6 +140,7 @@ pub struct System {
     pub(crate) boot_count: u32,
     pub(crate) console: Vec<String>,
     pub(crate) config: SystemConfig,
+    pub(crate) observer: Option<Arc<dyn Observer>>,
 }
 
 impl System {
@@ -158,6 +161,7 @@ impl System {
             boot_count: 1,
             console: Vec::new(),
             config,
+            observer: None,
         };
         sys.log_console("boot: firmware handoff, supplies at nominal");
         sys
@@ -210,6 +214,30 @@ impl System {
     #[must_use]
     pub fn console(&self) -> &[String] {
         &self.console
+    }
+
+    /// Attaches a telemetry observer: subsequent rail programming and EDAC
+    /// drains report [`TraceEvent`]s through it. The simulator never emits
+    /// when no observer is attached (or the attached one is disabled), so
+    /// tracing has no effect on simulation results either way.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the telemetry observer.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Reports one event through the attached observer, constructing it
+    /// only when an enabled observer is attached — instrumented callers
+    /// (the characterization framework) pay nothing when tracing is off.
+    pub fn observe(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(obs) = &self.observer {
+            if obs.enabled() {
+                obs.record(&build());
+            }
+        }
     }
 
     /// The SLIMpro management-processor interface (voltage/frequency
@@ -318,9 +346,23 @@ impl System {
         self.energy.accumulate(watts, runtime_s);
         self.thermal.step(watts, runtime_s.min(1.0));
 
-        let ce = self.edac.corrected_count() + report.detected_faults as usize;
-        let ue = self.edac.uncorrected_count();
-        self.edac.drain();
+        let drained = self.edac.drain();
+        let ce = drained
+            .iter()
+            .filter(|r| r.kind == EdacKind::Corrected)
+            .count()
+            + report.detected_faults as usize;
+        let ue = drained
+            .iter()
+            .filter(|r| r.kind == EdacKind::Uncorrected)
+            .count();
+        for rec in &drained {
+            self.observe(|| TraceEvent::CacheErrorReported {
+                level: rec.level.to_string(),
+                instance: rec.instance,
+                corrected: rec.kind == EdacKind::Corrected,
+            });
+        }
 
         Ok(RunRecord {
             program: program.name().to_owned(),
@@ -463,6 +505,41 @@ mod tests {
         assert_eq!(r.freq, MAX_FREQ);
         assert_eq!(r.core, CoreId::new(5));
         assert_eq!(r.program, "tiny-loop");
+    }
+
+    #[test]
+    fn observer_reports_rail_sets_without_changing_results() {
+        let mut plain = sys();
+        let baseline = plain.run(&TinyLoop, CoreId::new(0), 7).unwrap();
+
+        let mut traced = sys();
+        let buf = std::sync::Arc::new(margins_trace::EventBuffer::new());
+        traced.set_observer(buf.clone());
+        traced
+            .slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(905))
+            .unwrap();
+        traced
+            .slimpro_mut()
+            .set_pmd_voltage(crate::volt::PMD_NOMINAL)
+            .unwrap();
+        let r = traced.run(&TinyLoop, CoreId::new(0), 7).unwrap();
+        assert_eq!(r.digest, baseline.digest, "tracing must not perturb runs");
+        assert_eq!(r.cycles, baseline.cycles);
+
+        let events = buf.drain();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            margins_trace::TraceEvent::RailSet { rail, mv: 905 } if rail == "pmd"
+        ));
+
+        traced.clear_observer();
+        traced
+            .slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(905))
+            .unwrap();
+        assert!(buf.is_empty(), "detached observer must see nothing");
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `trace-check`: validates emitted JSONL trace streams.
+//!
+//! ```text
+//! trace-check <file.jsonl>...
+//! ```
+//!
+//! For each file, asserts the stream contract (one parseable object per
+//! line, dense sequence numbers, monotonically non-decreasing modelled
+//! time, balanced span nesting) and prints summary statistics. Exits
+//! non-zero on the first invalid file.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-check <file.jsonl>...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match margins_trace::validate_jsonl(&text) {
+            Ok(stats) => println!(
+                "{path}: ok ({} records, {} campaigns, {} sweeps, {} runs, {} power cycles)",
+                stats.records, stats.campaigns, stats.sweeps, stats.runs, stats.power_cycles
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,305 @@
+//! The typed event model: everything the characterization stack reports.
+//!
+//! Events mirror the phases of the paper's Figure 2. A campaign opens a
+//! `CampaignStarted` span; each (benchmark, core) pair opens a
+//! `SweepStarted` span; runs, voltage steps, golden captures, watchdog
+//! recoveries and EDAC reports are leaves inside the sweep. The governor's
+//! `VoltageDecision` may appear standalone (outside any campaign span).
+//!
+//! Every payload field is a primitive (strings, integers, modelled-time
+//! floats) so the crate stays a leaf of the workspace graph and the JSONL
+//! schema is self-describing.
+
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event, before sequence/clock assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event")]
+pub enum TraceEvent {
+    /// A campaign began (the initialization phase completed).
+    CampaignStarted {
+        /// Chip identity, e.g. `TTT#0`.
+        chip: String,
+        /// Swept rail (`pmd` or `soc`).
+        rail: String,
+        /// Number of benchmarks in the campaign.
+        benchmarks: u32,
+        /// Number of target cores.
+        cores: u32,
+        /// Voltage steps in the sweep grid.
+        steps: u32,
+        /// Iterations per (benchmark, core, voltage) configuration.
+        iterations: u32,
+        /// Logical work shards: one per (benchmark, core) sweep item.
+        /// Which worker thread executes a shard is an execution detail
+        /// deliberately excluded from the trace, so streams are identical
+        /// across thread counts.
+        shards: u32,
+        /// Campaign seed.
+        seed: u64,
+    },
+    /// One logical shard of the campaign schedule: a single (benchmark,
+    /// core) sweep item, announced in canonical order in the preamble.
+    ShardScheduled {
+        /// Canonical shard index (the item's position in benchmarks-major
+        /// order).
+        shard: u32,
+        /// Planned runs in this shard (steps × iterations; early stops may
+        /// execute fewer).
+        items: u32,
+    },
+    /// A (benchmark, core) sweep began.
+    SweepStarted {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// Logical shard index of this sweep (its canonical item order),
+        /// never the executing worker thread.
+        shard: u32,
+    },
+    /// The golden output digest was captured at nominal conditions.
+    GoldenCaptured {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// The golden digest, hex-rendered.
+        digest: String,
+        /// Modelled runtime of the golden run, seconds.
+        runtime_s: f64,
+    },
+    /// The sweep descended to a new voltage step.
+    VoltageStepped {
+        /// Swept rail (`pmd` or `soc`).
+        rail: String,
+        /// Step voltage, millivolts.
+        mv: u32,
+        /// 0-based step index within the sweep.
+        step: u32,
+    },
+    /// A supply rail was programmed through the SLIMpro (raw regulation
+    /// command — includes the per-run nominal restores of safe data
+    /// collection, §2.2.1).
+    RailSet {
+        /// Regulated rail (`pmd` or `soc`).
+        rail: String,
+        /// Programmed voltage, millivolts.
+        mv: u32,
+    },
+    /// The watchdog found the board hung and pressed the power button.
+    WatchdogPowerCycle {
+        /// 1-based ordinal of this recovery within the enclosing sweep.
+        /// (Deliberately *not* the board's boot count: that accumulates per
+        /// worker board and would differ between serial and sharded
+        /// executions of the same campaign.)
+        recovery: u32,
+    },
+    /// The EDAC driver reported a cache error (drained after a run).
+    CacheErrorReported {
+        /// Reporting array (`L1I`, `L1D`, `L2`, `L3`).
+        level: String,
+        /// Array instance (core index for L1, PMD index for L2, 0 for L3).
+        instance: u8,
+        /// Whether the error was corrected (CE) or only detected (UE).
+        corrected: bool,
+    },
+    /// One characterization run finished and was classified.
+    RunCompleted {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// Swept-rail voltage of the run, millivolts.
+        mv: u32,
+        /// Iteration index within the campaign.
+        iteration: u32,
+        /// Observed Table 3 effect set, e.g. `NO` or `SDC+CE`.
+        effects: String,
+        /// The run's severity contribution (Σ Table 4 weights).
+        severity: f64,
+        /// Modelled runtime, seconds.
+        runtime_s: f64,
+        /// Modelled energy, joules. Deterministic because every sweep runs
+        /// on a pristine board (the §2.2.1 initialization phase), so the
+        /// thermal history feeding the power model never depends on which
+        /// items a worker executed before.
+        energy_j: f64,
+        /// Corrected-error reports during the run.
+        corrected_errors: u64,
+        /// Uncorrected-error reports during the run.
+        uncorrected_errors: u64,
+    },
+    /// The crash-stop policy ended a sweep early.
+    EarlyStop {
+        /// Benchmark name.
+        program: String,
+        /// Target core index.
+        core: u8,
+        /// Deepest voltage reached, millivolts.
+        mv: u32,
+        /// Consecutive all-system-crash steps that triggered the stop.
+        consecutive_all_sc: u32,
+    },
+    /// A (benchmark, core) sweep finished.
+    SweepFinished {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// Classified runs the sweep produced.
+        runs: u32,
+    },
+    /// The campaign finished.
+    CampaignFinished {
+        /// Total classified runs.
+        runs: u64,
+        /// Watchdog power cycles performed.
+        power_cycles: u32,
+    },
+    /// The undervolting governor chose an operating point (§5).
+    VoltageDecision {
+        /// The shared-rail voltage to program, millivolts.
+        voltage_mv: u32,
+        /// Guardband steps applied above the binding Vmin.
+        guardband_steps: u32,
+        /// Expected power relative to nominal.
+        relative_power: f64,
+        /// Expected throughput relative to all-full-speed.
+        relative_performance: f64,
+        /// Expected energy savings.
+        energy_savings: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's name (the JSON `event` tag).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::CampaignStarted { .. } => "CampaignStarted",
+            TraceEvent::ShardScheduled { .. } => "ShardScheduled",
+            TraceEvent::SweepStarted { .. } => "SweepStarted",
+            TraceEvent::GoldenCaptured { .. } => "GoldenCaptured",
+            TraceEvent::VoltageStepped { .. } => "VoltageStepped",
+            TraceEvent::RailSet { .. } => "RailSet",
+            TraceEvent::WatchdogPowerCycle { .. } => "WatchdogPowerCycle",
+            TraceEvent::CacheErrorReported { .. } => "CacheErrorReported",
+            TraceEvent::RunCompleted { .. } => "RunCompleted",
+            TraceEvent::EarlyStop { .. } => "EarlyStop",
+            TraceEvent::SweepFinished { .. } => "SweepFinished",
+            TraceEvent::CampaignFinished { .. } => "CampaignFinished",
+            TraceEvent::VoltageDecision { .. } => "VoltageDecision",
+        }
+    }
+
+    /// Modelled time the event consumes on the campaign clock: the run
+    /// duration for executed work, zero for markers.
+    #[must_use]
+    pub fn modelled_duration_s(&self) -> f64 {
+        match self {
+            TraceEvent::GoldenCaptured { runtime_s, .. }
+            | TraceEvent::RunCompleted { runtime_s, .. } => *runtime_s,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A finalized event: sequence number and modelled-clock stamp assigned in
+/// the canonical (scheduling-independent) stream order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// 0-based position in the stream.
+    pub seq: u64,
+    /// Modelled campaign time at (the end of) the event, seconds.
+    pub t_model_s: f64,
+    /// The event itself.
+    #[serde(flatten)]
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one byte-deterministic JSON line (keys sorted,
+    /// no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for unserializable values
+    /// (only possible for non-finite floats, which finalized records never
+    /// carry).
+    pub fn to_json_line(&self) -> Result<String, serde_json::Error> {
+        // serde_json's default Map is a BTreeMap, so Value round-tripping
+        // sorts the keys; struct-order serialization would not.
+        let value = serde_json::to_value(self)?;
+        serde_json::to_string(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_have_sorted_keys_and_event_tag() {
+        let rec = TraceRecord {
+            seq: 3,
+            t_model_s: 0.25,
+            event: TraceEvent::VoltageStepped {
+                rail: "pmd".into(),
+                mv: 905,
+                step: 2,
+            },
+        };
+        let line = rec.to_json_line().expect("serializable");
+        assert_eq!(
+            line,
+            r#"{"event":"VoltageStepped","mv":905,"rail":"pmd","seq":3,"step":2,"t_model_s":0.25}"#
+        );
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let rec = TraceRecord {
+            seq: 0,
+            t_model_s: 0.0,
+            event: TraceEvent::RunCompleted {
+                program: "bwaves".into(),
+                dataset: "ref".into(),
+                core: 0,
+                mv: 900,
+                iteration: 1,
+                effects: "SDC+CE".into(),
+                severity: 5.0,
+                runtime_s: 1e-3,
+                energy_j: 2.5e-2,
+                corrected_errors: 2,
+                uncorrected_errors: 0,
+            },
+        };
+        let line = rec.to_json_line().expect("serializable");
+        let back: TraceRecord = serde_json::from_str(&line).expect("parseable");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn modelled_duration_is_zero_for_markers() {
+        let ev = TraceEvent::WatchdogPowerCycle { recovery: 2 };
+        assert!(ev.modelled_duration_s() <= f64::EPSILON);
+        let run = TraceEvent::GoldenCaptured {
+            program: "namd".into(),
+            dataset: "ref".into(),
+            core: 4,
+            digest: "00ff".into(),
+            runtime_s: 0.5,
+        };
+        assert!((run.modelled_duration_s() - 0.5).abs() < 1e-12);
+    }
+}

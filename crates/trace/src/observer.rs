@@ -1,0 +1,182 @@
+//! The instrumentation-facing side of the telemetry layer.
+//!
+//! Instrumented code (simulator, runner, watchdog, governor) holds a
+//! `&dyn Observer` (or an `Arc<dyn Observer>`) and reports raw
+//! [`TraceEvent`]s through it. Observers use interior mutability so the
+//! simulator can emit while the runner holds `&mut System`.
+//!
+//! The [`StreamFinalizer`] sits between raw events and [`Sink`]s: once the
+//! runner has merged per-item buffers into the canonical order, the
+//! finalizer assigns sequence numbers and the modelled campaign clock.
+//!
+//! [`Sink`]: crate::sink::Sink
+
+use crate::event::{TraceEvent, TraceRecord};
+use parking_lot::Mutex;
+
+/// Receives raw telemetry events from instrumented code.
+///
+/// Implementations must be cheap when disabled: emission sites guard event
+/// construction with [`Observer::enabled`], so a disabled observer makes
+/// tracing free apart from one virtual call per site.
+pub trait Observer: Send + Sync {
+    /// Whether events should be constructed and reported at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The disabled observer: reports nothing, and tells emission sites not to
+/// build event payloads in the first place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// An ordered in-memory buffer of raw events — the per-work-item staging
+/// area that makes sharded tracing deterministic: each sweep's events are
+/// buffered here, and the runner merges whole buffers in canonical item
+/// order regardless of which worker finished first.
+#[derive(Debug, Default)]
+pub struct EventBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+
+    /// Removes and returns everything buffered so far, in emission order.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Observer for EventBuffer {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Assigns sequence numbers and the modelled campaign clock to a stream of
+/// raw events arriving in canonical order.
+///
+/// The clock is the running sum of modelled run durations (golden runs and
+/// characterization runs); an executed event is stamped with the clock
+/// *after* its own duration, so `t_model_s` is monotonically non-decreasing
+/// over the stream and never involves wall-clock time.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFinalizer {
+    seq: u64,
+    clock_s: f64,
+}
+
+impl StreamFinalizer {
+    /// A finalizer at sequence 0, modelled time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamFinalizer::default()
+    }
+
+    /// Stamps one event.
+    pub fn seal(&mut self, event: TraceEvent) -> TraceRecord {
+        self.clock_s += event.modelled_duration_s();
+        let record = TraceRecord {
+            seq: self.seq,
+            t_model_s: self.clock_s,
+            event,
+        };
+        self.seq += 1;
+        record
+    }
+
+    /// The modelled campaign clock so far, seconds.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Number of events sealed so far.
+    #[must_use]
+    pub fn sealed(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(runtime_s: f64) -> TraceEvent {
+        TraceEvent::RunCompleted {
+            program: "namd".into(),
+            dataset: "ref".into(),
+            core: 4,
+            mv: 890,
+            iteration: 0,
+            effects: "NO".into(),
+            severity: 0.0,
+            runtime_s,
+            energy_j: 1e-2,
+            corrected_errors: 0,
+            uncorrected_errors: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_preserves_emission_order() {
+        let buf = EventBuffer::new();
+        buf.record(&TraceEvent::WatchdogPowerCycle { recovery: 2 });
+        buf.record(&run(0.5));
+        assert_eq!(buf.len(), 2);
+        let events = buf.drain();
+        assert_eq!(events[0].name(), "WatchdogPowerCycle");
+        assert_eq!(events[1].name(), "RunCompleted");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn finalizer_advances_the_modelled_clock() {
+        let mut fin = StreamFinalizer::new();
+        let a = fin.seal(TraceEvent::WatchdogPowerCycle { recovery: 1 });
+        let b = fin.seal(run(0.25));
+        let c = fin.seal(TraceEvent::WatchdogPowerCycle { recovery: 2 });
+        assert_eq!((a.seq, b.seq, c.seq), (0, 1, 2));
+        assert!(a.t_model_s.abs() < 1e-12);
+        assert!((b.t_model_s - 0.25).abs() < 1e-12);
+        assert!((c.t_model_s - 0.25).abs() < 1e-12);
+        assert_eq!(fin.sealed(), 3);
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let obs = NullObserver;
+        assert!(!obs.enabled());
+        obs.record(&run(0.1)); // must be a no-op
+    }
+}

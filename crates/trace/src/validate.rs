@@ -1,0 +1,324 @@
+//! Structural validation of a serialized trace stream.
+//!
+//! Used by the `trace-check` binary (and CI) to assert the three invariants
+//! every emitted JSONL stream obeys:
+//!
+//! 1. every line parses as exactly one [`TraceRecord`] object,
+//! 2. sequence numbers are dense from 0 and modelled time never decreases,
+//! 3. span nesting is balanced: campaign → sweep → leaf events, with every
+//!    opened span closed.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::fmt;
+
+/// Summary statistics of a valid stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total records.
+    pub records: u64,
+    /// Campaign spans.
+    pub campaigns: u64,
+    /// Sweep spans.
+    pub sweeps: u64,
+    /// Classified runs.
+    pub runs: u64,
+    /// Watchdog power cycles.
+    pub power_cycles: u64,
+}
+
+/// A structural violation, with the 1-based line it occurred on.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A line failed to parse as a `TraceRecord`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A record's `seq` broke the dense 0-based ordering.
+    Sequence {
+        /// 1-based line number.
+        line: usize,
+        /// Expected sequence number.
+        expected: u64,
+        /// Found sequence number.
+        found: u64,
+    },
+    /// Modelled time decreased.
+    TimeRegression {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Span nesting was violated.
+    Nesting {
+        /// 1-based line number (0 = end of stream).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Parse { line, message } => {
+                write!(f, "line {line}: unparseable record: {message}")
+            }
+            StreamError::Sequence {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: seq {found}, expected {expected}"),
+            StreamError::TimeRegression { line } => {
+                write!(f, "line {line}: modelled time decreased")
+            }
+            StreamError::Nesting { line, message } => {
+                if *line == 0 {
+                    write!(f, "end of stream: {message}")
+                } else {
+                    write!(f, "line {line}: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Validates a JSONL trace stream (empty lines are rejected: the writer
+/// never emits them).
+///
+/// # Errors
+///
+/// Returns the first [`StreamError`] found.
+pub fn validate_jsonl(input: &str) -> Result<StreamStats, StreamError> {
+    let mut stats = StreamStats::default();
+    let mut in_campaign = false;
+    let mut in_sweep = false;
+    let mut last_t = 0.0f64;
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let record: TraceRecord =
+            serde_json::from_str(line).map_err(|e| StreamError::Parse {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+        if record.seq != stats.records {
+            return Err(StreamError::Sequence {
+                line: lineno,
+                expected: stats.records,
+                found: record.seq,
+            });
+        }
+        if record.t_model_s < last_t {
+            return Err(StreamError::TimeRegression { line: lineno });
+        }
+        last_t = record.t_model_s;
+        stats.records += 1;
+
+        let nesting = |message: &str| StreamError::Nesting {
+            line: lineno,
+            message: message.to_owned(),
+        };
+        match &record.event {
+            TraceEvent::CampaignStarted { .. } => {
+                if in_campaign {
+                    return Err(nesting("CampaignStarted inside an open campaign"));
+                }
+                in_campaign = true;
+                stats.campaigns += 1;
+            }
+            TraceEvent::CampaignFinished { .. } => {
+                if !in_campaign {
+                    return Err(nesting("CampaignFinished without an open campaign"));
+                }
+                if in_sweep {
+                    return Err(nesting("CampaignFinished inside an open sweep"));
+                }
+                in_campaign = false;
+            }
+            TraceEvent::ShardScheduled { .. } => {
+                if !in_campaign || in_sweep {
+                    return Err(nesting("ShardScheduled outside the campaign preamble"));
+                }
+            }
+            TraceEvent::SweepStarted { .. } => {
+                if !in_campaign {
+                    return Err(nesting("SweepStarted outside a campaign"));
+                }
+                if in_sweep {
+                    return Err(nesting("SweepStarted inside an open sweep"));
+                }
+                in_sweep = true;
+                stats.sweeps += 1;
+            }
+            TraceEvent::SweepFinished { .. } => {
+                if !in_sweep {
+                    return Err(nesting("SweepFinished without an open sweep"));
+                }
+                in_sweep = false;
+            }
+            TraceEvent::GoldenCaptured { .. }
+            | TraceEvent::VoltageStepped { .. }
+            | TraceEvent::RailSet { .. }
+            | TraceEvent::WatchdogPowerCycle { .. }
+            | TraceEvent::CacheErrorReported { .. }
+            | TraceEvent::RunCompleted { .. }
+            | TraceEvent::EarlyStop { .. } => {
+                if !in_sweep {
+                    return Err(nesting("sweep-scoped event outside a sweep"));
+                }
+                match &record.event {
+                    TraceEvent::RunCompleted { .. } => stats.runs += 1,
+                    TraceEvent::WatchdogPowerCycle { .. } => stats.power_cycles += 1,
+                    _ => {}
+                }
+            }
+            // The governor reports decisions outside campaign spans too.
+            TraceEvent::VoltageDecision { .. } => {}
+        }
+    }
+    if in_sweep {
+        return Err(StreamError::Nesting {
+            line: 0,
+            message: "stream ended inside an open sweep".to_owned(),
+        });
+    }
+    if in_campaign {
+        return Err(StreamError::Nesting {
+            line: 0,
+            message: "stream ended inside an open campaign".to_owned(),
+        });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::StreamFinalizer;
+
+    fn render(events: Vec<TraceEvent>) -> String {
+        let mut fin = StreamFinalizer::new();
+        let mut out = String::new();
+        for e in events {
+            let rec = fin.seal(e);
+            out.push_str(&rec.to_json_line().expect("serializable"));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn campaign_started() -> TraceEvent {
+        TraceEvent::CampaignStarted {
+            chip: "TTT#0".into(),
+            rail: "pmd".into(),
+            benchmarks: 1,
+            cores: 1,
+            steps: 1,
+            iterations: 1,
+            shards: 1,
+            seed: 1,
+        }
+    }
+
+    fn sweep_started() -> TraceEvent {
+        TraceEvent::SweepStarted {
+            program: "namd".into(),
+            dataset: "ref".into(),
+            core: 4,
+            shard: 0,
+        }
+    }
+
+    fn sweep_finished() -> TraceEvent {
+        TraceEvent::SweepFinished {
+            program: "namd".into(),
+            dataset: "ref".into(),
+            core: 4,
+            runs: 1,
+        }
+    }
+
+    fn run() -> TraceEvent {
+        TraceEvent::RunCompleted {
+            program: "namd".into(),
+            dataset: "ref".into(),
+            core: 4,
+            mv: 890,
+            iteration: 0,
+            effects: "NO".into(),
+            severity: 0.0,
+            runtime_s: 0.125,
+            energy_j: 1e-2,
+            corrected_errors: 0,
+            uncorrected_errors: 0,
+        }
+    }
+
+    #[test]
+    fn well_formed_stream_validates() {
+        let text = render(vec![
+            campaign_started(),
+            sweep_started(),
+            run(),
+            sweep_finished(),
+            TraceEvent::CampaignFinished {
+                runs: 1,
+                power_cycles: 0,
+            },
+        ]);
+        let stats = validate_jsonl(&text).expect("valid");
+        assert_eq!(stats.records, 5);
+        assert_eq!(stats.campaigns, 1);
+        assert_eq!(stats.sweeps, 1);
+        assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn unbalanced_spans_are_rejected() {
+        let text = render(vec![campaign_started(), sweep_started(), run()]);
+        let err = validate_jsonl(&text).expect_err("open spans");
+        assert!(err.to_string().contains("open sweep"), "{err}");
+
+        let text = render(vec![campaign_started(), run()]);
+        let err = validate_jsonl(&text).expect_err("run outside sweep");
+        assert!(err.to_string().contains("outside a sweep"), "{err}");
+    }
+
+    #[test]
+    fn sequence_gaps_and_garbage_are_rejected() {
+        let good = render(vec![
+            campaign_started(),
+            TraceEvent::CampaignFinished {
+                runs: 0,
+                power_cycles: 0,
+            },
+        ]);
+        // Drop the first line: seq then starts at 1.
+        let tail = good.lines().nth(1).expect("two lines").to_owned();
+        assert!(matches!(
+            validate_jsonl(&tail),
+            Err(StreamError::Sequence { .. })
+        ));
+        assert!(matches!(
+            validate_jsonl("not json\n"),
+            Err(StreamError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn standalone_governor_decision_is_valid() {
+        let text = render(vec![TraceEvent::VoltageDecision {
+            voltage_mv: 890,
+            guardband_steps: 1,
+            relative_power: 0.85,
+            relative_performance: 1.0,
+            energy_savings: 0.15,
+        }]);
+        let stats = validate_jsonl(&text).expect("valid");
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.campaigns, 0);
+    }
+}

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = analyze(&outcome, &SeverityWeights::paper());
 
     // Phase 2: profile the performance counters at nominal conditions.
-    let profiles = profile(chip, &benchmarks, core);
+    let profiles = profile(chip, &benchmarks, core)?;
 
     // Phase 3: assemble samples (counters + step voltage → severity).
     let samples = severity_samples(&result, &profiles, core);

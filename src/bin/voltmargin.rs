@@ -22,6 +22,9 @@ use voltmargin::energy::schedule::Scheduler;
 use voltmargin::energy::tradeoff::pareto_curve;
 use voltmargin::energy::{Governor, Policy, VminTable};
 use voltmargin::sim::{ChipSpec, CoreId, Corner, Millivolts, PmuEvent};
+use voltmargin::trace::{
+    EventBuffer, JsonlSink, MetricsRegistry, ProgressSink, Sink, StreamFinalizer,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +60,9 @@ common options:
   --out-dir DIR             also write runs/regions/severity CSV files
   --tasks a,b,c             (govern) workloads to schedule
   --max-loss F              (govern) performance-loss budget, e.g. 0.25
-  --seed N                  campaign seed (default 3405691582)";
+  --seed N                  campaign seed (default 3405691582)
+  --trace FILE              write the deterministic JSONL telemetry stream
+  --progress                (characterize) live sweep progress on stderr";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut opts = Options::parse(args)?;
@@ -83,6 +88,9 @@ struct Options {
 }
 
 impl Options {
+    /// Flags that take no value argument.
+    const BOOLEAN_FLAGS: [&'static str; 1] = ["progress"];
+
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut it = args.iter();
         let command = it.next().ok_or("missing command")?.clone();
@@ -91,6 +99,10 @@ impl Options {
             let key = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
+            if Self::BOOLEAN_FLAGS.contains(&key) {
+                flags.insert(key.to_owned(), String::new());
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             flags.insert(key.to_owned(), value.clone());
         }
@@ -183,7 +195,35 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         config.step_count(),
         config.iterations
     );
-    let outcome = Campaign::new(spec, config).execute_parallel(threads);
+    let trace_path = opts.flags.get("trace").cloned();
+    let progress = opts.flags.contains_key("progress");
+    let traced = trace_path.is_some() || progress;
+
+    let mut jsonl = match &trace_path {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+            Some(JsonlSink::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let mut progress_sink = progress.then(|| ProgressSink::new(std::io::stderr()));
+    let mut metrics = MetricsRegistry::new();
+
+    let campaign = Campaign::new(spec, config);
+    let outcome = if traced {
+        let mut sinks: Vec<&mut dyn Sink> = Vec::new();
+        if let Some(sink) = progress_sink.as_mut() {
+            sinks.push(sink);
+        }
+        if let Some(sink) = jsonl.as_mut() {
+            sinks.push(sink);
+        }
+        sinks.push(&mut metrics);
+        campaign.execute_traced(threads, &mut sinks)
+    } else {
+        campaign.execute_parallel(threads)
+    };
     let result = analyze(&outcome, &SeverityWeights::paper());
 
     // Region bands per benchmark.
@@ -208,6 +248,18 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         write("severity.csv", report::severity_csv(&result))?;
         eprintln!("wrote {dir}/runs.csv, regions.csv, severity.csv");
     }
+
+    if let (Some(sink), Some(path)) = (jsonl, &trace_path) {
+        let lines = sink.lines();
+        sink.into_inner().map_err(|e| format!("--trace {path}: {e}"))?;
+        eprintln!("wrote {lines} trace records to {path}");
+    }
+    if traced {
+        eprintln!("campaign metrics:");
+        for line in metrics.render().lines() {
+            eprintln!("  {line}");
+        }
+    }
     Ok(())
 }
 
@@ -226,7 +278,7 @@ fn profile_cmd(opts: &mut Options) -> Result<(), String> {
             dataset: voltmargin::workloads::Dataset::Ref,
         })
         .collect();
-    let profiles = profile(spec, &benchmarks, core);
+    let profiles = profile(spec, &benchmarks, core).map_err(|e| e.to_string())?;
     let shown = [
         PmuEvent::InstRetired,
         PmuEvent::CpuCycles,
@@ -309,9 +361,24 @@ fn govern(opts: &mut Options) -> Result<(), String> {
             max_performance_loss: max_loss,
         },
     );
-    let decision = governor
-        .decide(&assignments)
-        .ok_or("governor could not produce a decision")?;
+    let decision = if let Some(path) = opts.flags.get("trace") {
+        let buffer = EventBuffer::new();
+        let decision = governor.decide_observed(&assignments, &buffer);
+        let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+        let mut finalizer = StreamFinalizer::new();
+        for event in buffer.drain() {
+            sink.emit(&finalizer.seal(event));
+        }
+        sink.finish();
+        let lines = sink.lines();
+        sink.into_inner().map_err(|e| format!("--trace {path}: {e}"))?;
+        eprintln!("wrote {lines} trace records to {path}");
+        decision
+    } else {
+        governor.decide(&assignments)
+    };
+    let decision = decision.ok_or("governor could not produce a decision")?;
     println!(
         "\ndecision (≤{:.0}% loss, 1-step guardband): {} @ {:?} MHz → {:.1}% savings",
         max_loss * 100.0,

@@ -17,6 +17,7 @@
 //! | [`characterize`] | `margins-core` | the characterization framework |
 //! | [`predict`] | `margins-predict` | OLS / RFE / metrics |
 //! | [`energy`] | `margins-energy` | power model, governor, tradeoffs |
+//! | [`trace`] | `margins-trace` | campaign telemetry: events, metrics, sinks |
 //!
 //! # Quickstart
 //!
@@ -37,4 +38,5 @@ pub use margins_ecc as ecc;
 pub use margins_energy as energy;
 pub use margins_predict as predict;
 pub use margins_sim as sim;
+pub use margins_trace as trace;
 pub use margins_workloads as workloads;

@@ -86,3 +86,91 @@ fn profile_prints_counter_columns() {
     assert!(stdout.contains("namd"));
     assert!(stdout.contains("mcf"));
 }
+
+#[test]
+fn profile_unknown_benchmark_reports_a_clean_error() {
+    let out = voltmargin(&["profile", "--benchmarks", "nosuch", "--cores", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown benchmark 'nosuch'"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn characterize_streams_trace_and_progress() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("campaign.jsonl");
+    let out = voltmargin(&[
+        "characterize",
+        "--benchmarks",
+        "namd",
+        "--cores",
+        "4",
+        "--iterations",
+        "2",
+        "--start",
+        "890",
+        "--floor",
+        "875",
+        "--threads",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--progress",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("sweeping namd on core4"), "stderr: {stderr}");
+    assert!(stderr.contains("campaign finished"), "stderr: {stderr}");
+    assert!(stderr.contains("campaign metrics:"), "stderr: {stderr}");
+    assert!(stderr.contains("runs_total"), "stderr: {stderr}");
+
+    let data = std::fs::read_to_string(&trace).unwrap();
+    let stats = voltmargin::trace::validate_jsonl(&data).expect("trace stream validates");
+    assert_eq!(stats.campaigns, 1);
+    assert_eq!(stats.sweeps, 1);
+    assert!(stats.runs >= 2, "at least one voltage step of 2 iterations");
+    assert_eq!(stats.records as usize, data.lines().count());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn govern_trace_records_the_decision() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-govtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("decision.jsonl");
+    let out = voltmargin(&[
+        "govern",
+        "--tasks",
+        "namd,dealII",
+        "--iterations",
+        "2",
+        "--threads",
+        "8",
+        "--max-loss",
+        "0.25",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let data = std::fs::read_to_string(&trace).unwrap();
+    assert_eq!(data.lines().count(), 1, "one decision record: {data}");
+    assert!(
+        data.contains("\"event\":\"VoltageDecision\""),
+        "trace: {data}"
+    );
+    let stats = voltmargin::trace::validate_jsonl(&data).expect("decision stream validates");
+    assert_eq!(stats.records, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -51,7 +51,7 @@ fn pipeline(core: CoreId) -> (Features, Targets, Features, Targets) {
         .unwrap();
     let outcome = Campaign::new(chip, config).execute_parallel(4);
     let result = analyze(&outcome, &SeverityWeights::paper());
-    let profiles = profile(chip, &benches, core);
+    let profiles = profile(chip, &benches, core).expect("suite benchmark names");
     let sev = severity_samples(&result, &profiles, core);
     let vmin = vmin_samples(&result, &profiles, core);
     let (sx, sy) = to_matrix(&sev);
@@ -123,7 +123,7 @@ fn online_predictor_tracks_measured_vmin_ordering() {
         .unwrap();
     let outcome = Campaign::new(chip, config).execute_parallel(4);
     let result = analyze(&outcome, &SeverityWeights::paper());
-    let profiles = profile(chip, &benches, core);
+    let profiles = profile(chip, &benches, core).expect("suite benchmark names");
     let samples = severity_samples(&result, &profiles, core);
     let (x, y) = to_matrix(&samples);
     let model = RecursiveFeatureElimination::fit(&x, &y, 5, 5).unwrap();
