@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the adaptive Vmin search engine: campaign
+//! throughput per [`SearchStrategy`] on a small reference campaign.
+//!
+//! Besides the Criterion measurements, `main` records a compact
+//! exhaustive-vs-adaptive trajectory (machine probes + wall time per
+//! strategy) to `BENCH_search.json` in the working directory, so future
+//! changes have a recorded perf baseline to regress against.
+
+use criterion::{criterion_group, Criterion};
+use margins_bench::{search_exp, Scale};
+use margins_core::search::{SearchPriors, SearchStrategy};
+use margins_sim::{ChipSpec, CoreId, Corner};
+use std::time::Instant;
+
+const STRATEGIES: [SearchStrategy; 3] = [
+    SearchStrategy::Exhaustive,
+    SearchStrategy::Bisection,
+    SearchStrategy::WarmStart,
+];
+
+/// A bench-sized campaign: 3 benchmarks × 2 cores × 2 iterations over the
+/// full 945 → 830 mV reference grid.
+fn bench_scale() -> Scale {
+    Scale {
+        iterations: 2,
+        threads: 2,
+        fig4_benchmarks: vec!["bwaves", "namd", "mcf"],
+        fig4_cores: vec![CoreId::new(0), CoreId::new(4)],
+        full_prediction_suite: false,
+    }
+}
+
+/// Warm-start priors for the bench campaign, distilled from one exhaustive
+/// characterization (what a persisted campaign cache would supply).
+fn bench_priors(spec: ChipSpec, scale: &Scale) -> SearchPriors {
+    let exhaustive = search_exp::run_strategy(spec, scale, SearchStrategy::Exhaustive, None);
+    search_exp::priors_from(&exhaustive.result)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let spec = ChipSpec::new(Corner::Ttt, 0);
+    let scale = bench_scale();
+    let priors = bench_priors(spec, &scale);
+    let mut group = c.benchmark_group("search/campaign(3bench,2cores,2iters)");
+    for strategy in STRATEGIES {
+        let seeded = (strategy == SearchStrategy::WarmStart).then_some(&priors);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| search_exp::run_strategy(spec, &scale, strategy, seeded));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+
+fn main() {
+    benches();
+    if let Err(e) = write_trajectory("BENCH_search.json") {
+        eprintln!("BENCH_search.json: {e}");
+    }
+}
+
+/// Times one campaign per strategy with a monotonic clock and writes the
+/// trajectory as one JSON object (hand-rendered: the payload is flat and
+/// the bench must not depend on serializer availability).
+fn write_trajectory(path: &str) -> std::io::Result<()> {
+    let spec = ChipSpec::new(Corner::Ttt, 0);
+    let scale = bench_scale();
+    let mut priors: Option<SearchPriors> = None;
+    let mut entries = Vec::new();
+    for strategy in STRATEGIES {
+        let t0 = Instant::now();
+        let run = search_exp::run_strategy(spec, &scale, strategy, priors.as_ref());
+        let wall_s = t0.elapsed().as_secs_f64();
+        if strategy == SearchStrategy::Exhaustive {
+            priors = Some(search_exp::priors_from(&run.result));
+        }
+        entries.push(format!(
+            "{{\"strategy\":\"{}\",\"machine_steps\":{},\"grid_steps\":{},\"items\":{},\"wall_s\":{wall_s:.6}}}",
+            run.strategy.name(),
+            run.machine_steps,
+            run.grid_steps,
+            run.result.summaries.len()
+        ));
+    }
+    let body = format!(
+        "{{\"bench\":\"search\",\"campaign\":\"3bench,2cores,2iters,945-830mV\",\"strategies\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(path, body)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

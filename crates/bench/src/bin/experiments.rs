@@ -9,10 +9,10 @@
 //! deterministic JSONL telemetry stream per chip into the directory.
 //!
 //! Experiment ids: `table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4
-//! case1 fig7 fig8 fig9 headline sec6 socrail all`.
+//! case1 fig7 fig8 fig9 headline sec6 socrail search all`.
 
 use margins_bench::{
-    chips, energy_exp, extensions, fig34, fig5, prediction, regimes, tables, Scale,
+    chips, energy_exp, extensions, fig34, fig5, prediction, regimes, search_exp, tables, Scale,
 };
 use margins_sim::CoreId;
 use std::time::Instant;
@@ -42,7 +42,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--trace-dir DIR] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail all"
+            "usage: experiments [--quick] [--trace-dir DIR] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail search all"
         );
         std::process::exit(2);
     }
@@ -157,6 +157,12 @@ fn main() {
         section("socrail", || {
             let r = extensions::soc_rail_characterization(chips::ttt(), &scale);
             extensions::soc_rail_report(&r)
+        });
+    }
+    if want("search") {
+        section("search", || {
+            let runs = search_exp::study(chips::ttt(), &scale);
+            search_exp::report(&runs)
         });
     }
 

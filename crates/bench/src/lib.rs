@@ -25,6 +25,7 @@
 //! | `headline` | abstract/§5 — 19.4% / 38.8% / 69.9% savings numbers |
 //! | `sec6`   | §6 design-enhancement ablation (extension) |
 //! | `socrail`| PCP/SoC-rail characterization (extension) |
+//! | `search` | adaptive Vmin search vs the exhaustive sweep (extension) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +38,7 @@ pub mod fig5;
 pub mod prediction;
 pub mod regimes;
 pub mod scale;
+pub mod search_exp;
 pub mod tables;
 
 pub use scale::Scale;

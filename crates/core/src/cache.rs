@@ -1,0 +1,971 @@
+//! The persistent campaign result cache.
+//!
+//! Characterization time is the limiting cost of margin studies — the
+//! paper's massive campaign ran for months. Since every characterization
+//! point in this reproduction is a pure function of its coordinates
+//! (chip, rail, frequencies, enhancements, seed, iteration count,
+//! benchmark, core, voltage — each probe runs on a pristine board), its
+//! classified outcome can be persisted and replayed: repeated and
+//! incremental campaigns skip already-characterized points entirely.
+//!
+//! The cache is a pair of [`BTreeMap`]s (step probes and golden
+//! captures), persisted as JSONL with one record per line in key order,
+//! so the byte stream is deterministic for a given content. Serialization
+//! is hand-rolled — a small writer plus a minimal recursive-descent JSON
+//! reader — so the on-disk format is fully controlled by this module,
+//! floats round-trip exactly (shortest representation), and a corrupted
+//! or truncated file is rejected with a typed [`CacheError`], never a
+//! panic.
+
+use crate::config::{CampaignConfig, SweptRail};
+use crate::effect::EffectSet;
+use crate::search::{ItemPrior, SearchPriors};
+use margins_sim::Enhancements;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Identifies one step probe: every coordinate its outcome depends on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StepKey {
+    /// Chip identity (corner + serial), e.g. `"TTT#0"`.
+    pub chip: String,
+    /// Swept rail label (`"pmd"` or `"soc"`).
+    pub rail: String,
+    /// Target-core PMD clock, MHz.
+    pub target_mhz: u32,
+    /// Parked-PMD clock, MHz.
+    pub parked_mhz: u32,
+    /// Enhancement flags, encoded by [`encode_enhancements`].
+    pub enhancements: u8,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Iterations per step — a 2-iteration probe is not a prefix of a
+    /// 10-iteration probe (the crash-stop and verdict logic differ), so
+    /// the count is part of the key.
+    pub iterations: u32,
+    /// Benchmark name.
+    pub program: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Target core index.
+    pub core: u8,
+    /// Swept-rail voltage of the probe, millivolts.
+    pub mv: u32,
+}
+
+/// Identifies one golden capture (nominal conditions — no swept voltage,
+/// no iteration count).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GoldenKey {
+    /// Chip identity (corner + serial).
+    pub chip: String,
+    /// Target-core PMD clock, MHz.
+    pub target_mhz: u32,
+    /// Parked-PMD clock, MHz.
+    pub parked_mhz: u32,
+    /// Enhancement flags, encoded by [`encode_enhancements`].
+    pub enhancements: u8,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Benchmark name.
+    pub program: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Target core index.
+    pub core: u8,
+}
+
+/// One cached iteration of a step probe. Coordinates already present in
+/// the [`StepKey`] (program, core, voltages, frequency) are not repeated;
+/// the runner reconstructs the full `ClassifiedRun` from key + entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRun {
+    /// Observed Table 3 effects.
+    pub effects: EffectSet,
+    /// Corrected-error reports.
+    pub corrected_errors: u64,
+    /// Uncorrected-error reports.
+    pub uncorrected_errors: u64,
+    /// Modelled runtime, seconds.
+    pub runtime_s: f64,
+    /// Modelled energy, joules.
+    pub energy_j: f64,
+}
+
+/// Everything one step probe produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepEntry {
+    /// Per-iteration outcomes, in iteration order.
+    pub runs: Vec<CachedRun>,
+    /// Watchdog power cycles the probe triggered (including the trailing
+    /// recovery of a hang in its last iteration).
+    pub power_cycles: u32,
+}
+
+impl StepEntry {
+    /// Whether any iteration manifested an abnormal effect.
+    #[must_use]
+    pub fn any_abnormal(&self) -> bool {
+        self.runs.iter().any(|r| !r.effects.is_normal())
+    }
+
+    /// Whether any iteration crashed the whole system.
+    #[must_use]
+    pub fn any_system_crash(&self) -> bool {
+        self.runs.iter().any(|r| r.effects.is_system_crash())
+    }
+
+    /// Whether every iteration crashed the whole system.
+    #[must_use]
+    pub fn all_system_crash(&self) -> bool {
+        !self.runs.is_empty() && self.runs.iter().all(|r| r.effects.is_system_crash())
+    }
+}
+
+/// One cached golden capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenEntry {
+    /// Golden output digest value.
+    pub digest: u64,
+    /// Modelled nominal runtime, seconds.
+    pub runtime_s: f64,
+}
+
+/// Typed error loading or parsing a cache file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error message.
+        message: String,
+    },
+    /// A line of the file is not a valid cache record (corruption,
+    /// truncation, or an unknown record kind).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io { path, message } => write!(f, "cache file {path}: {message}"),
+            CacheError::Corrupt { line, message } => {
+                write!(f, "corrupt cache record on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Packs the enhancement flags into the stable bit layout used by cache
+/// keys (bit 0 = extended ECC, bit 1 = residue checks, bit 2 = adaptive
+/// clocking).
+#[must_use]
+pub fn encode_enhancements(e: Enhancements) -> u8 {
+    u8::from(e.extended_ecc) | u8::from(e.residue_checks) << 1 | u8::from(e.adaptive_clocking) << 2
+}
+
+/// The label cache keys use for a swept rail.
+#[must_use]
+pub fn rail_label(rail: SweptRail) -> &'static str {
+    match rail {
+        SweptRail::Pmd => "pmd",
+        SweptRail::PcpSoc => "soc",
+    }
+}
+
+/// The persistent, byte-deterministic campaign result cache.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignCache {
+    steps: BTreeMap<StepKey, StepEntry>,
+    goldens: BTreeMap<GoldenKey, GoldenEntry>,
+}
+
+impl CampaignCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CampaignCache::default()
+    }
+
+    /// Total records (step probes + golden captures).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len() + self.goldens.len()
+    }
+
+    /// Whether the cache holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && self.goldens.is_empty()
+    }
+
+    /// Looks up a step probe.
+    #[must_use]
+    pub fn step(&self, key: &StepKey) -> Option<&StepEntry> {
+        self.steps.get(key)
+    }
+
+    /// Inserts (or replaces) a step probe.
+    pub fn insert_step(&mut self, key: StepKey, entry: StepEntry) {
+        self.steps.insert(key, entry);
+    }
+
+    /// Looks up a golden capture.
+    #[must_use]
+    pub fn golden(&self, key: &GoldenKey) -> Option<&GoldenEntry> {
+        self.goldens.get(key)
+    }
+
+    /// Inserts (or replaces) a golden capture.
+    pub fn insert_golden(&mut self, key: GoldenKey, entry: GoldenEntry) {
+        self.goldens.insert(key, entry);
+    }
+
+    /// All step probes, in key order.
+    pub fn steps(&self) -> impl Iterator<Item = (&StepKey, &StepEntry)> {
+        self.steps.iter()
+    }
+
+    /// Derives [`SearchPriors`] for `config` on `chip` from every cached
+    /// probe of the same machine setup, *ignoring seed and iteration
+    /// count*: a pilot campaign with a different seed contributes priors
+    /// (its boundaries transfer) without contributing cache hits (its run
+    /// outcomes do not).
+    ///
+    /// The prior for each (program, dataset, core) is the highest cached
+    /// voltage at which the item misbehaved / crashed — under the
+    /// monotonicity the region model assumes, that is the boundary.
+    #[must_use]
+    pub fn derive_priors(&self, chip: &str, config: &CampaignConfig) -> SearchPriors {
+        let rail = rail_label(config.rail);
+        let enh = encode_enhancements(config.enhancements);
+        let mut priors = SearchPriors::new();
+        let mut best: BTreeMap<(String, String, u8), ItemPrior> = BTreeMap::new();
+        for (key, entry) in &self.steps {
+            if key.chip != chip
+                || key.rail != rail
+                || key.target_mhz != config.target_frequency.get()
+                || key.parked_mhz != config.parked_frequency.get()
+                || key.enhancements != enh
+            {
+                continue;
+            }
+            let slot = best
+                .entry((key.program.clone(), key.dataset.clone(), key.core))
+                .or_default();
+            if entry.any_abnormal() && slot.vmin_mv.is_none_or(|mv| key.mv > mv) {
+                slot.vmin_mv = Some(key.mv);
+            }
+            if entry.any_system_crash() && slot.crash_mv.is_none_or(|mv| key.mv > mv) {
+                slot.crash_mv = Some(key.mv);
+            }
+        }
+        for ((program, dataset, core), prior) in best {
+            if prior.vmin_mv.is_some() || prior.crash_mv.is_some() {
+                priors.insert(&program, &dataset, core, prior);
+            }
+        }
+        priors
+    }
+
+    /// Serializes the cache as JSONL, golden records first, each section
+    /// in key order — byte-deterministic for a given content.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, entry) in &self.goldens {
+            out.push_str("{\"kind\":\"golden\"");
+            push_str_field(&mut out, "chip", &key.chip);
+            push_raw_field(&mut out, "target_mhz", &key.target_mhz.to_string());
+            push_raw_field(&mut out, "parked_mhz", &key.parked_mhz.to_string());
+            push_raw_field(&mut out, "enh", &key.enhancements.to_string());
+            push_raw_field(&mut out, "seed", &key.seed.to_string());
+            push_str_field(&mut out, "program", &key.program);
+            push_str_field(&mut out, "dataset", &key.dataset);
+            push_raw_field(&mut out, "core", &key.core.to_string());
+            push_str_field(&mut out, "digest", &format!("{:016x}", entry.digest));
+            push_raw_field(&mut out, "runtime_s", &fmt_f64(entry.runtime_s));
+            out.push_str("}\n");
+        }
+        for (key, entry) in &self.steps {
+            out.push_str("{\"kind\":\"step\"");
+            push_str_field(&mut out, "chip", &key.chip);
+            push_str_field(&mut out, "rail", &key.rail);
+            push_raw_field(&mut out, "target_mhz", &key.target_mhz.to_string());
+            push_raw_field(&mut out, "parked_mhz", &key.parked_mhz.to_string());
+            push_raw_field(&mut out, "enh", &key.enhancements.to_string());
+            push_raw_field(&mut out, "seed", &key.seed.to_string());
+            push_raw_field(&mut out, "iterations", &key.iterations.to_string());
+            push_str_field(&mut out, "program", &key.program);
+            push_str_field(&mut out, "dataset", &key.dataset);
+            push_raw_field(&mut out, "core", &key.core.to_string());
+            push_raw_field(&mut out, "mv", &key.mv.to_string());
+            push_raw_field(&mut out, "power_cycles", &entry.power_cycles.to_string());
+            out.push_str(",\"runs\":[");
+            for (i, run) in entry.runs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"effects\":");
+                push_json_string(&mut out, &run.effects.to_string());
+                push_raw_field(&mut out, "ce", &run.corrected_errors.to_string());
+                push_raw_field(&mut out, "ue", &run.uncorrected_errors.to_string());
+                push_raw_field(&mut out, "runtime_s", &fmt_f64(run.runtime_s));
+                push_raw_field(&mut out, "energy_j", &fmt_f64(run.energy_j));
+                out.push('}');
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses a cache back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Corrupt`] on the first malformed line — a truncated
+    /// trailing line, a non-JSON line, an unknown record kind, or a
+    /// record missing a field all reject the file.
+    pub fn from_jsonl(input: &str) -> Result<CampaignCache, CacheError> {
+        let mut cache = CampaignCache::new();
+        for (idx, line) in input.lines().enumerate() {
+            let lineno = idx + 1;
+            let corrupt = |message: String| CacheError::Corrupt {
+                line: lineno,
+                message,
+            };
+            if line.trim().is_empty() {
+                return Err(corrupt("blank line (the writer never emits one)".into()));
+            }
+            let value = json::parse(line).map_err(&corrupt)?;
+            let obj = Fields::of(&value).map_err(&corrupt)?;
+            match obj.str("kind").map_err(&corrupt)? {
+                "golden" => {
+                    let key = GoldenKey {
+                        chip: obj.str("chip").map_err(&corrupt)?.to_owned(),
+                        target_mhz: obj.u32("target_mhz").map_err(&corrupt)?,
+                        parked_mhz: obj.u32("parked_mhz").map_err(&corrupt)?,
+                        enhancements: obj.u8("enh").map_err(&corrupt)?,
+                        seed: obj.u64("seed").map_err(&corrupt)?,
+                        program: obj.str("program").map_err(&corrupt)?.to_owned(),
+                        dataset: obj.str("dataset").map_err(&corrupt)?.to_owned(),
+                        core: obj.u8("core").map_err(&corrupt)?,
+                    };
+                    let digest = u64::from_str_radix(obj.str("digest").map_err(&corrupt)?, 16)
+                        .map_err(|e| corrupt(format!("digest: {e}")))?;
+                    let entry = GoldenEntry {
+                        digest,
+                        runtime_s: obj.f64("runtime_s").map_err(&corrupt)?,
+                    };
+                    cache.goldens.insert(key, entry);
+                }
+                "step" => {
+                    let key = StepKey {
+                        chip: obj.str("chip").map_err(&corrupt)?.to_owned(),
+                        rail: obj.str("rail").map_err(&corrupt)?.to_owned(),
+                        target_mhz: obj.u32("target_mhz").map_err(&corrupt)?,
+                        parked_mhz: obj.u32("parked_mhz").map_err(&corrupt)?,
+                        enhancements: obj.u8("enh").map_err(&corrupt)?,
+                        seed: obj.u64("seed").map_err(&corrupt)?,
+                        iterations: obj.u32("iterations").map_err(&corrupt)?,
+                        program: obj.str("program").map_err(&corrupt)?.to_owned(),
+                        dataset: obj.str("dataset").map_err(&corrupt)?.to_owned(),
+                        core: obj.u8("core").map_err(&corrupt)?,
+                        mv: obj.u32("mv").map_err(&corrupt)?,
+                    };
+                    let mut runs = Vec::new();
+                    for item in obj.arr("runs").map_err(&corrupt)? {
+                        let run = Fields::of(item).map_err(&corrupt)?;
+                        let effects: EffectSet = run
+                            .str("effects")
+                            .map_err(&corrupt)?
+                            .parse()
+                            .map_err(|e| corrupt(format!("effects: {e}")))?;
+                        runs.push(CachedRun {
+                            effects,
+                            corrected_errors: run.u64("ce").map_err(&corrupt)?,
+                            uncorrected_errors: run.u64("ue").map_err(&corrupt)?,
+                            runtime_s: run.f64("runtime_s").map_err(&corrupt)?,
+                            energy_j: run.f64("energy_j").map_err(&corrupt)?,
+                        });
+                    }
+                    let entry = StepEntry {
+                        runs,
+                        power_cycles: obj.u32("power_cycles").map_err(&corrupt)?,
+                    };
+                    cache.steps.insert(key, entry);
+                }
+                kind => return Err(corrupt(format!("unknown record kind '{kind}'"))),
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Loads a cache file. A missing file is an empty cache (the first
+    /// campaign of an incremental series starts cold); any other read
+    /// failure or malformed content is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the file exists but cannot be read,
+    /// [`CacheError::Corrupt`] when a line does not parse.
+    pub fn load(path: impl AsRef<Path>) -> Result<CampaignCache, CacheError> {
+        let path = path.as_ref();
+        match std::fs::read_to_string(path) {
+            Ok(text) => CampaignCache::from_jsonl(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(CampaignCache::new()),
+            Err(e) => Err(CacheError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Persists the cache, overwriting `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_jsonl()).map_err(|e| CacheError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+}
+
+/// Appends `,"name":"escaped value"` to `out`.
+fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    push_json_string(out, value);
+}
+
+/// Appends `,"name":raw` to `out` (for already-serialized numbers).
+fn push_raw_field(out: &mut String, name: &str, raw: &str) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(raw);
+}
+
+/// Appends `value` as a JSON string literal.
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                // lint: allow(no-panic) — write! to String is infallible
+                write!(out, "\\u{:04x}", c as u32).expect("String write is infallible");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest round-trip representation of a finite `f64` (`{:?}` always
+/// prints a form `f64::from_str` maps back to the same bits).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // Non-finite values never occur in modelled runtimes/energies;
+        // serialize defensively as null so the reader rejects the record
+        // instead of producing invalid JSON.
+        "null".to_owned()
+    }
+}
+
+/// Typed access to the fields of a parsed JSON object.
+struct Fields<'a> {
+    map: &'a BTreeMap<String, json::Value>,
+}
+
+impl<'a> Fields<'a> {
+    fn of(value: &'a json::Value) -> Result<Fields<'a>, String> {
+        match value {
+            json::Value::Object(map) => Ok(Fields { map }),
+            _ => Err("expected a JSON object".to_owned()),
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<&'a json::Value, String> {
+        self.map
+            .get(name)
+            .ok_or_else(|| format!("missing field '{name}'"))
+    }
+
+    fn str(&self, name: &str) -> Result<&'a str, String> {
+        match self.get(name)? {
+            json::Value::String(s) => Ok(s),
+            _ => Err(format!("field '{name}' is not a string")),
+        }
+    }
+
+    fn number(&self, name: &str) -> Result<&'a str, String> {
+        match self.get(name)? {
+            json::Value::Number(raw) => Ok(raw),
+            _ => Err(format!("field '{name}' is not a number")),
+        }
+    }
+
+    fn u64(&self, name: &str) -> Result<u64, String> {
+        self.number(name)?
+            .parse()
+            .map_err(|e| format!("field '{name}': {e}"))
+    }
+
+    fn u32(&self, name: &str) -> Result<u32, String> {
+        self.number(name)?
+            .parse()
+            .map_err(|e| format!("field '{name}': {e}"))
+    }
+
+    fn u8(&self, name: &str) -> Result<u8, String> {
+        self.number(name)?
+            .parse()
+            .map_err(|e| format!("field '{name}': {e}"))
+    }
+
+    fn f64(&self, name: &str) -> Result<f64, String> {
+        self.number(name)?
+            .parse()
+            .map_err(|e| format!("field '{name}': {e}"))
+    }
+
+    fn arr(&self, name: &str) -> Result<&'a [json::Value], String> {
+        match self.get(name)? {
+            json::Value::Array(items) => Ok(items),
+            _ => Err(format!("field '{name}' is not an array")),
+        }
+    }
+}
+
+/// A minimal recursive-descent JSON reader for the cache's own records.
+///
+/// Numbers keep their raw token so 64-bit integers (campaign seeds) never
+/// pass through `f64` and lose precision. Errors are plain messages; the
+/// caller attaches the line number.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, as its raw token.
+        Number(String),
+        /// A string, unescaped.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object. Duplicate keys keep the last occurrence.
+        Object(BTreeMap<String, Value>),
+    }
+
+    /// Parses exactly one JSON value spanning the whole input.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn require(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at offset {}",
+                    char::from(b),
+                    self.pos
+                ))
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(c) => Err(format!("unexpected byte 0x{c:02x} at offset {}", self.pos)),
+                None => Err("unexpected end of input".to_owned()),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.require(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.require(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.require(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.require(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "non-ASCII \\u escape".to_owned())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                // Surrogates never appear in this module's
+                                // own output; reject rather than combine.
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at offset {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    _ => return Err("unterminated string".to_owned()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                // lint: allow(no-panic) — the scanned range is ASCII by construction
+                .expect("number token is ASCII");
+            // Validate the token parses as a number at all.
+            raw.parse::<f64>()
+                .map_err(|e| format!("bad number '{raw}': {e}"))?;
+            Ok(Value::Number(raw.to_owned()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effect::Effect;
+
+    fn step_key(mv: u32) -> StepKey {
+        StepKey {
+            chip: "TTT#0".into(),
+            rail: "pmd".into(),
+            target_mhz: 2400,
+            parked_mhz: 300,
+            enhancements: 0,
+            seed: 0xC0FF_EE00,
+            iterations: 2,
+            program: "bwaves".into(),
+            dataset: "ref".into(),
+            core: 0,
+            mv,
+        }
+    }
+
+    fn entry(effects: &[EffectSet]) -> StepEntry {
+        StepEntry {
+            runs: effects
+                .iter()
+                .map(|e| CachedRun {
+                    effects: *e,
+                    corrected_errors: 1,
+                    uncorrected_errors: 0,
+                    runtime_s: 0.062_5,
+                    energy_j: 1.25e-2,
+                })
+                .collect(),
+            power_cycles: 1,
+        }
+    }
+
+    fn sample() -> CampaignCache {
+        let mut cache = CampaignCache::new();
+        cache.insert_step(step_key(900), entry(&[EffectSet::new(), EffectSet::new()]));
+        cache.insert_step(
+            step_key(880),
+            entry(&[
+                EffectSet::of(Effect::Sc),
+                [Effect::Sdc, Effect::Ce].into_iter().collect(),
+            ]),
+        );
+        cache.insert_golden(
+            GoldenKey {
+                chip: "TTT#0".into(),
+                target_mhz: 2400,
+                parked_mhz: 300,
+                enhancements: 0,
+                seed: 0xC0FF_EE00,
+                program: "bwaves".into(),
+                dataset: "ref".into(),
+                core: 0,
+            },
+            GoldenEntry {
+                digest: 0xDEAD_BEEF_0123_4567,
+                runtime_s: 0.5,
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn jsonl_round_trips_losslessly() {
+        let cache = sample();
+        let text = cache.to_jsonl();
+        let reloaded = CampaignCache::from_jsonl(&text).expect("own output parses");
+        assert_eq!(reloaded, cache);
+        // And the serialization is byte-deterministic.
+        assert_eq!(reloaded.to_jsonl(), text);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut cache = CampaignCache::new();
+        let mut key = step_key(5);
+        key.seed = u64::MAX; // would lose precision through f64
+        key.program = "we\"ird\\name\n".into();
+        cache.insert_step(
+            key.clone(),
+            StepEntry {
+                runs: vec![CachedRun {
+                    effects: EffectSet::of(Effect::Ue),
+                    corrected_errors: u64::MAX,
+                    uncorrected_errors: 7,
+                    runtime_s: 1.234_567_890_123_456_7e-12,
+                    energy_j: f64::MIN_POSITIVE,
+                }],
+                power_cycles: 0,
+            },
+        );
+        let reloaded = CampaignCache::from_jsonl(&cache.to_jsonl()).expect("parses");
+        assert_eq!(reloaded, cache);
+        assert!(reloaded.step(&key).is_some());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_are_typed_errors() {
+        let text = sample().to_jsonl();
+        // Truncate mid-line: the trailing fragment must be rejected.
+        let cut = text.len() - 10;
+        let err = CampaignCache::from_jsonl(&text[..cut]).expect_err("truncated");
+        assert!(matches!(err, CacheError::Corrupt { .. }), "{err}");
+
+        for garbage in [
+            "not json at all\n",
+            "{\"kind\":\"mystery\"}\n",
+            "{\"kind\":\"step\"}\n",                // missing fields
+            "{\"kind\":\"golden\",\"chip\":3}\n",   // wrong type
+            "[1,2,3]\n",                            // not an object
+            "\n",                                   // blank line
+            "{\"kind\":\"step\",\"seed\":1e309}\n", // unparseable number field
+        ] {
+            let err = CampaignCache::from_jsonl(garbage).expect_err(garbage);
+            assert!(matches!(err, CacheError::Corrupt { .. }), "{garbage:?}");
+            assert!(err.to_string().contains("line 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_empty_cache() {
+        let cache =
+            CampaignCache::load("/nonexistent/dir/never-here.jsonl").expect("missing file is cold");
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("margins-cache-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.jsonl");
+        let cache = sample();
+        cache.save(&path).expect("save");
+        let reloaded = CampaignCache::load(&path).expect("load");
+        assert_eq!(reloaded, cache);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn priors_derive_from_matching_entries_only() {
+        let mut cache = sample(); // abnormal at 880 (SC), normal at 900
+        let mut other_rail = step_key(910);
+        other_rail.rail = "soc".into();
+        cache.insert_step(other_rail, entry(&[EffectSet::of(Effect::Sc)]));
+        let mut other_seed = step_key(895);
+        other_seed.seed = 1; // different seed still contributes priors
+        cache.insert_step(other_seed, entry(&[EffectSet::of(Effect::Sdc)]));
+
+        let config = CampaignConfig::builder()
+            .benchmarks(["bwaves"])
+            .build()
+            .expect("valid config");
+        let priors = cache.derive_priors("TTT#0", &config);
+        let prior = priors.get("bwaves", "ref", 0).expect("prior derived");
+        // Highest abnormal voltage across seeds: the 895 SDC entry.
+        assert_eq!(prior.vmin_mv, Some(895));
+        // Highest crash voltage on the pmd rail: 880 (the soc entry at 910
+        // belongs to a different machine setup).
+        assert_eq!(prior.crash_mv, Some(880));
+        // A different chip has no priors.
+        assert!(cache.derive_priors("TFF#1", &config).is_empty());
+    }
+
+    #[test]
+    fn enhancement_bits_are_stable() {
+        assert_eq!(encode_enhancements(Enhancements::stock()), 0);
+        assert_eq!(encode_enhancements(Enhancements::all()), 0b111);
+        let ecc = Enhancements {
+            extended_ecc: true,
+            ..Enhancements::stock()
+        };
+        assert_eq!(encode_enhancements(ecc), 0b001);
+    }
+
+    #[test]
+    fn step_entry_verdict_helpers() {
+        let normal = entry(&[EffectSet::new()]);
+        assert!(!normal.any_abnormal() && !normal.any_system_crash());
+        let mixed = entry(&[EffectSet::new(), EffectSet::of(Effect::Sc)]);
+        assert!(mixed.any_abnormal() && mixed.any_system_crash());
+        assert!(!mixed.all_system_crash());
+        let all = entry(&[EffectSet::of(Effect::Sc), EffectSet::of(Effect::Sc)]);
+        assert!(all.all_system_crash());
+        assert!(!StepEntry::default().all_system_crash());
+    }
+}

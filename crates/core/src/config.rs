@@ -6,6 +6,7 @@
 //! and frequency (V/F) values on which the experiment will take place and
 //! the cores where the benchmark will be run."
 
+use crate::search::SearchStrategy;
 use margins_sim::freq::MAX_FREQ;
 use margins_sim::volt::{SOC_NOMINAL, VOLTAGE_STEP_MV};
 use margins_sim::{CoreId, Enhancements, Megahertz, Millivolts};
@@ -66,6 +67,10 @@ pub struct CampaignConfig {
     pub rail: SweptRail,
     /// §6 hardware enhancements of the simulated chip revision under test.
     pub enhancements: Enhancements,
+    /// How each item visits the voltage grid (default: the exhaustive
+    /// top-down sweep of the paper's massive campaign).
+    #[serde(default)]
+    pub search: SearchStrategy,
 }
 
 impl CampaignConfig {
@@ -102,6 +107,7 @@ pub struct CampaignConfigBuilder {
     collect_counters: bool,
     rail: SweptRail,
     enhancements: Enhancements,
+    search: SearchStrategy,
 }
 
 impl Default for CampaignConfigBuilder {
@@ -122,6 +128,7 @@ impl Default for CampaignConfigBuilder {
             collect_counters: false,
             rail: SweptRail::Pmd,
             enhancements: Enhancements::stock(),
+            search: SearchStrategy::Exhaustive,
         }
     }
 }
@@ -234,6 +241,13 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Selects the Vmin search strategy (default: exhaustive sweep).
+    #[must_use]
+    pub fn search(mut self, strategy: SearchStrategy) -> Self {
+        self.search = strategy;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -291,6 +305,7 @@ impl CampaignConfigBuilder {
             collect_counters: self.collect_counters,
             rail: self.rail,
             enhancements: self.enhancements,
+            search: self.search,
         })
     }
 }
@@ -367,6 +382,21 @@ mod tests {
         assert_eq!(c.target_frequency, MAX_FREQ);
         assert_eq!(c.parked_frequency.get(), 300);
         assert_eq!(c.step_count(), 23);
+    }
+
+    #[test]
+    fn search_strategy_defaults_to_exhaustive_and_is_selectable() {
+        let c = CampaignConfig::builder()
+            .benchmarks(["namd"])
+            .build()
+            .unwrap();
+        assert_eq!(c.search, SearchStrategy::Exhaustive);
+        let c = CampaignConfig::builder()
+            .benchmarks(["namd"])
+            .search(SearchStrategy::Bisection)
+            .build()
+            .unwrap();
+        assert_eq!(c.search, SearchStrategy::Bisection);
     }
 
     #[test]

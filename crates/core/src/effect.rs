@@ -189,6 +189,41 @@ impl fmt::Display for EffectSet {
     }
 }
 
+/// Error parsing an [`EffectSet`] from its `Display` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEffectError {
+    /// The unrecognized token.
+    pub token: String,
+}
+
+impl fmt::Display for ParseEffectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown effect abbreviation '{}'", self.token)
+    }
+}
+
+impl std::error::Error for ParseEffectError {}
+
+impl std::str::FromStr for EffectSet {
+    type Err = ParseEffectError;
+
+    /// Parses the `Display` form (`"NO"`, `"SDC+CE"`, …) back into a set,
+    /// so persisted run records round-trip losslessly.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut set = EffectSet::new();
+        for token in s.split('+') {
+            let effect = Effect::ALL
+                .into_iter()
+                .find(|e| e.abbreviation() == token)
+                .ok_or_else(|| ParseEffectError {
+                    token: token.to_owned(),
+                })?;
+            set.insert(effect);
+        }
+        Ok(set)
+    }
+}
+
 impl FromIterator<Effect> for EffectSet {
     fn from_iter<I: IntoIterator<Item = Effect>>(iter: I) -> Self {
         let mut s = EffectSet::new();
@@ -253,6 +288,24 @@ mod tests {
         let s: EffectSet = [Effect::Sc, Effect::Ce, Effect::Sdc].into_iter().collect();
         let order: Vec<Effect> = s.iter().collect();
         assert_eq!(order, vec![Effect::Sdc, Effect::Ce, Effect::Sc]);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let sets = [
+            EffectSet::new(),
+            EffectSet::of(Effect::Sc),
+            [Effect::Sdc, Effect::Ce].into_iter().collect(),
+            [Effect::Sdc, Effect::Ce, Effect::Ue, Effect::Ac, Effect::Sc]
+                .into_iter()
+                .collect(),
+        ];
+        for set in sets {
+            let parsed: EffectSet = set.to_string().parse().expect("display form parses");
+            assert_eq!(parsed, set, "{set}");
+        }
+        assert!("BOGUS".parse::<EffectSet>().is_err());
+        assert!("SDC+".parse::<EffectSet>().is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classify;
 pub mod config;
 pub mod dataset;
@@ -55,12 +56,15 @@ pub mod effect;
 pub mod regions;
 pub mod report;
 pub mod runner;
+pub mod search;
 pub mod severity;
 pub mod watchdog;
 
+pub use cache::{CacheError, CampaignCache};
 pub use classify::ClassifiedRun;
 pub use config::CampaignConfig;
 pub use effect::{Effect, EffectSet};
 pub use regions::{CharacterizationResult, RegionKind, SweepSummary};
 pub use runner::{Campaign, UnknownBenchmark};
+pub use search::{SearchPriors, SearchStrategy};
 pub use severity::{Severity, SeverityWeights};

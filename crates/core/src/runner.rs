@@ -2,20 +2,34 @@
 //!
 //! For every (benchmark, core) pair the runner applies the *reliable cores
 //! setup* (target PMD at full clock, every other PMD parked at 300 MHz),
-//! captures a golden output digest at nominal conditions, then walks the
-//! shared PMD rail downward in 5 mV steps executing N iterations per step.
-//! After each run the rail is restored to nominal before the log is
-//! persisted (*safe data collection*), and the watchdog power-cycles the
-//! board whenever a run hangs it.
+//! captures a golden output digest at nominal conditions, then visits the
+//! 5 mV voltage grid as directed by the campaign's [`SearchStrategy`]: the
+//! exhaustive strategy walks every step top-down like the paper's massive
+//! campaign, while the adaptive strategies bisect for the two region
+//! boundaries. Every probe — golden or voltage step — boots a pristine
+//! simulated board (the §2.2.1 initialization phase), which makes step
+//! outcomes independent of visit order; that property is what lets an
+//! adaptive plan, or a replay from a persistent [`CampaignCache`], stand in
+//! for the exhaustive descent. After each run the rail is restored to
+//! nominal before the log is persisted (*safe data collection*), and the
+//! watchdog power-cycles the board whenever a run hangs it.
+//!
+//! [`SearchStrategy`]: crate::search::SearchStrategy
+//! [`CampaignCache`]: crate::cache::CampaignCache
 
+use crate::cache::{
+    encode_enhancements, rail_label, CachedRun, CampaignCache, GoldenEntry, GoldenKey, StepEntry,
+    StepKey,
+};
 use crate::classify::{classify_run, ClassifiedRun};
 use crate::config::SweptRail;
 use crate::config::{BenchmarkRef, CampaignConfig};
+use crate::search::{SearchPlan, SearchPriors, SearchStrategy, StepVerdict};
 use crate::severity::SeverityWeights;
 use crate::watchdog::Watchdog;
 use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
 use margins_sim::{ChipSpec, CoreId, CounterFile, OutputDigest, PmdId, System, SystemConfig};
-use margins_trace::{EventBuffer, Sink, StreamFinalizer, TraceEvent};
+use margins_trace::{EventBuffer, Observer, Sink, StreamFinalizer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,7 +52,8 @@ pub struct CampaignOutcome {
     pub runs: Vec<ClassifiedRun>,
     /// Golden digests per (benchmark, dataset).
     pub goldens: BTreeMap<(String, String), OutputDigest>,
-    /// Watchdog recoveries performed during the campaign.
+    /// Watchdog recoveries performed during the campaign (cache replays
+    /// count the recoveries the original probe performed).
     pub watchdog_power_cycles: u32,
 }
 
@@ -68,10 +83,10 @@ impl Campaign {
     }
 
     /// Executes the campaign sharded over `threads` worker threads, one
-    /// pristine simulated board per work item. Results are bit-identical to
+    /// pristine simulated board per probe. Results are bit-identical to
     /// the serial execution: run seeds depend only on (campaign seed,
-    /// benchmark, core, voltage, iteration), and every sweep starts from
-    /// power-on state, never from another item's board history.
+    /// benchmark, core, voltage, iteration), and every probe starts from
+    /// power-on state, never from another probe's board history.
     #[must_use]
     pub fn execute_parallel(&self, threads: usize) -> CampaignOutcome {
         self.execute_traced(threads, &mut [])
@@ -97,6 +112,35 @@ impl Campaign {
     /// constructed, and campaign results are identical either way.
     #[must_use]
     pub fn execute_traced(&self, threads: usize, sinks: &mut [&mut dyn Sink]) -> CampaignOutcome {
+        self.execute_with(threads, sinks, None, None)
+    }
+
+    /// Executes the campaign with an optional persistent result `cache`
+    /// and optional warm-start `priors`.
+    ///
+    /// When a cache is supplied, every golden capture and voltage-step
+    /// probe is first looked up by its full coordinate key (chip, rail,
+    /// frequencies, enhancements, seed, iteration count, benchmark,
+    /// dataset, core, voltage); a hit replays the stored outcome without
+    /// touching a board, a miss executes the probe and inserts the result
+    /// back into the cache after the campaign. Because each probe runs on
+    /// a pristine board, replays are exact: the outcome (runs, goldens,
+    /// regions, power-cycle totals) of a cached rerun is identical to a
+    /// cold execution. Campaigns that collect performance counters bypass
+    /// the cache — cached entries do not retain counter files.
+    ///
+    /// `priors` seed [`SearchStrategy::WarmStart`]; when `None` and a
+    /// cache is supplied, priors are derived from the cache before
+    /// execution starts, so warm-started searches stay
+    /// schedule-independent.
+    #[must_use]
+    pub fn execute_with(
+        &self,
+        threads: usize,
+        sinks: &mut [&mut dyn Sink],
+        mut cache: Option<&mut CampaignCache>,
+        priors: Option<&SearchPriors>,
+    ) -> CampaignOutcome {
         let items: Vec<(usize, CoreId)> = self
             .config
             .benchmarks
@@ -105,6 +149,18 @@ impl Campaign {
             .flat_map(|(bi, _)| self.config.cores.iter().map(move |c| (bi, *c)))
             .collect();
         let threads = threads.clamp(1, items.len().max(1));
+
+        // Warm-start priors must be fixed before the first probe executes;
+        // deriving them from sibling items of the running campaign would
+        // make searches schedule-dependent.
+        let derived = if self.config.search == SearchStrategy::WarmStart && priors.is_none() {
+            cache
+                .as_deref()
+                .map(|c| c.derive_priors(&self.spec.to_string(), &self.config))
+        } else {
+            None
+        };
+        let priors = priors.or(derived.as_ref());
 
         // Shard work items round-robin, remembering each item's canonical
         // position so the merge below can reorder completions.
@@ -148,33 +204,52 @@ impl Campaign {
         let mut runs: Vec<ClassifiedRun> = Vec::new();
         let mut goldens = BTreeMap::new();
         let mut power_cycles = 0u32;
-        crossbeam::thread::scope(|scope| {
-            let (tx, rx) = crossbeam::channel::unbounded::<(usize, TracedItem)>();
-            for shard in &shards {
-                let tx = tx.clone();
-                scope.spawn(move |_| self.run_shard_items(shard, traced, &tx));
-            }
-            drop(tx);
-
-            // Reorder buffer: completions arrive in scheduling order; emit
-            // and accumulate them in canonical item order.
-            let mut pending: BTreeMap<usize, TracedItem> = BTreeMap::new();
-            let mut next = 0usize;
-            for (idx, item) in rx {
-                pending.insert(idx, item);
-                while let Some(ready) = pending.remove(&next) {
-                    for event in ready.events {
-                        emit_record(&mut finalizer, sinks, event);
-                    }
-                    goldens.insert(ready.golden_key, ready.golden);
-                    runs.extend(ready.runs);
-                    power_cycles += ready.power_cycles;
-                    next += 1;
+        let mut fresh_goldens: Vec<(GoldenKey, GoldenEntry)> = Vec::new();
+        let mut fresh_steps: Vec<(StepKey, StepEntry)> = Vec::new();
+        {
+            // Workers read the cache as it was when the campaign started;
+            // fresh results are collected by the merge loop and inserted
+            // after the scope ends, so lookups never race with inserts and
+            // one item's probes cannot shadow another's within a campaign.
+            let shared: Option<&CampaignCache> = cache.as_deref();
+            crossbeam::thread::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::unbounded::<(usize, TracedItem)>();
+                for shard in &shards {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| self.run_shard_items(shard, traced, shared, priors, &tx));
                 }
+                drop(tx);
+
+                // Reorder buffer: completions arrive in scheduling order;
+                // emit and accumulate them in canonical item order.
+                let mut pending: BTreeMap<usize, TracedItem> = BTreeMap::new();
+                let mut next = 0usize;
+                for (idx, item) in rx {
+                    pending.insert(idx, item);
+                    while let Some(ready) = pending.remove(&next) {
+                        for event in ready.events {
+                            emit_record(&mut finalizer, sinks, event);
+                        }
+                        goldens.insert(ready.golden_key, ready.golden);
+                        runs.extend(ready.runs);
+                        power_cycles += ready.power_cycles;
+                        fresh_goldens.extend(ready.fresh_golden);
+                        fresh_steps.extend(ready.fresh_steps);
+                        next += 1;
+                    }
+                }
+            })
+            // lint: allow(no-panic) — scope error only surfaces worker panics
+            .expect("campaign worker panicked");
+        }
+        if let Some(cache) = cache.as_deref_mut() {
+            for (key, entry) in fresh_goldens {
+                cache.insert_golden(key, entry);
             }
-        })
-        // lint: allow(no-panic) — scope error only surfaces worker panics
-        .expect("campaign worker panicked");
+            for (key, entry) in fresh_steps {
+                cache.insert_step(key, entry);
+            }
+        }
 
         let rail = self.config.rail;
         runs.sort_by(|a, b| {
@@ -224,182 +299,391 @@ impl Campaign {
         }
     }
 
+    /// A pristine simulated board — the §2.2.1 initialization phase,
+    /// applied per probe so every step outcome (thermal history included)
+    /// is independent of which probes ran before it.
+    fn fresh_board(&self, traced: bool, buffer: &Arc<EventBuffer>) -> System {
+        let mut system = System::new(
+            self.spec,
+            SystemConfig {
+                enhancements: self.config.enhancements,
+                ..SystemConfig::default()
+            },
+        );
+        if traced {
+            system.set_observer(buffer.clone());
+        }
+        system
+    }
+
     fn run_shard_items(
         &self,
         items: &[(usize, usize, CoreId)],
         traced: bool,
+        cache: Option<&CampaignCache>,
+        priors: Option<&SearchPriors>,
         tx: &crossbeam::channel::Sender<(usize, TracedItem)>,
     ) {
-        let sys_config = SystemConfig {
-            enhancements: self.config.enhancements,
-            ..SystemConfig::default()
-        };
         for (global_idx, bench_idx, core) in items {
-            // A pristine board per work item — the §2.2.1 initialization
-            // phase. Starting every sweep from power-on state keeps all
-            // modelled quantities (golden runtime, thermal history)
-            // independent of which items a worker ran before, so traced
-            // streams match across serial and sharded schedules.
-            let mut system = System::new(self.spec, sys_config);
-            let mut watchdog = Watchdog::new();
             let bench = &self.config.benchmarks[*bench_idx];
             let buffer = Arc::new(EventBuffer::new());
-            if traced {
-                system.set_observer(buffer.clone());
-                system.observe(|| TraceEvent::SweepStarted {
-                    program: bench.name.clone(),
-                    dataset: bench.dataset.label().to_owned(),
-                    core: core.index() as u8,
-                    shard: *global_idx as u32,
-                });
-            }
-            let sweep = self.sweep(&mut system, &mut watchdog, bench, *core);
-            if traced {
-                let sweep_runs = sweep.runs.len() as u32;
-                system.observe(|| TraceEvent::SweepFinished {
-                    program: bench.name.clone(),
-                    dataset: bench.dataset.label().to_owned(),
-                    core: core.index() as u8,
-                    runs: sweep_runs,
-                });
-                system.clear_observer();
-            }
-            let item = TracedItem {
+            note(traced, &buffer, || TraceEvent::SweepStarted {
+                program: bench.name.clone(),
+                dataset: bench.dataset.label().to_owned(),
+                core: core.index() as u8,
+                shard: *global_idx as u32,
+            });
+            let item = self.characterize_item(bench, *core, traced, &buffer, cache, priors);
+            note(traced, &buffer, || TraceEvent::SweepFinished {
+                program: bench.name.clone(),
+                dataset: bench.dataset.label().to_owned(),
+                core: core.index() as u8,
+                runs: item.runs.len() as u32,
+            });
+            let traced_item = TracedItem {
                 events: buffer.drain(),
                 golden_key: (bench.name.clone(), bench.dataset.label().to_owned()),
-                golden: sweep.golden,
-                runs: sweep.runs,
-                power_cycles: watchdog.power_cycles(),
+                golden: item.golden,
+                runs: item.runs,
+                power_cycles: item.power_cycles,
+                fresh_golden: item.fresh_golden,
+                fresh_steps: item.fresh_steps,
             };
             // A closed receiver means the campaign was abandoned; nothing
             // useful remains to do with this item's result.
-            let _ = tx.send((*global_idx, item));
+            let _ = tx.send((*global_idx, traced_item));
         }
     }
 
-    /// The downward sweep for one (benchmark, core) pair.
-    fn sweep(
+    /// Characterizes one (benchmark, core) item: golden capture plus the
+    /// strategy-directed walk of the voltage grid, each probe answered from
+    /// the cache when possible and executed on a pristine board otherwise.
+    fn characterize_item(
         &self,
-        system: &mut System,
-        watchdog: &mut Watchdog,
         bench: &BenchmarkRef,
         core: CoreId,
-    ) -> SweepRuns {
+        traced: bool,
+        buffer: &Arc<EventBuffer>,
+        cache: Option<&CampaignCache>,
+        priors: Option<&SearchPriors>,
+    ) -> ItemResult {
         let program = margins_workloads::suite::by_name(&bench.name, bench.dataset)
             // lint: allow(no-panic) — benchmark names validated at config build time
             .expect("benchmark validated at config build time");
+        // Cached entries do not retain counter files, so counter-collecting
+        // campaigns always execute their probes.
+        let cache = if self.config.collect_counters {
+            None
+        } else {
+            cache
+        };
+        let chip = self.spec.to_string();
+        let dataset = bench.dataset.label();
+        let core_u8 = core.index() as u8;
+        let enhancements = encode_enhancements(self.config.enhancements);
 
+        let mut watchdog = Watchdog::new();
         let mut recoveries = 0u32;
-        watchdog.ensure_responsive_observed(system, &mut recoveries);
-        self.apply_reliable_cores_setup(system, core);
+        let mut cached_cycles = 0u32;
+        let mut cache_hits = 0u32;
+        let mut machine_probes = 0u32;
+        let mut fresh_golden: Option<(GoldenKey, GoldenEntry)> = None;
+        let mut fresh_steps: Vec<(StepKey, StepEntry)> = Vec::new();
 
         // Golden run at nominal conditions.
-        let golden_seed = run_seed(
-            self.config.seed,
-            &bench.name,
-            bench.dataset.label(),
-            core,
-            0,
-            u32::MAX,
-        );
-        let golden_record = system
-            .run(program.as_ref(), core, golden_seed)
-            // lint: allow(no-panic) — watchdog.ensure_responsive_observed() ran just above
-            .expect("system responsive after watchdog check");
-        assert_eq!(
-            golden_record.outcome,
-            margins_sim::RunOutcome::Completed,
-            "golden run at nominal must complete"
-        );
-        let golden = golden_record.digest;
-        system.observe(|| TraceEvent::GoldenCaptured {
+        let golden_key = GoldenKey {
+            chip: chip.clone(),
+            target_mhz: self.config.target_frequency.get(),
+            parked_mhz: self.config.parked_frequency.get(),
+            enhancements,
+            seed: self.config.seed,
             program: bench.name.clone(),
-            dataset: bench.dataset.label().to_owned(),
-            core: core.index() as u8,
-            digest: golden.to_string(),
-            runtime_s: golden_record.runtime_s,
-        });
-
-        let mut runs: Vec<ClassifiedRun> = Vec::new();
-        let mut consecutive_all_sc = 0u32;
-        for (step, voltage) in self.config.sweep_voltages().enumerate() {
-            system.observe(|| TraceEvent::VoltageStepped {
-                rail: self.rail_name().to_owned(),
-                mv: voltage.get(),
-                step: step as u32,
+            dataset: dataset.to_owned(),
+            core: core_u8,
+        };
+        let cached_golden = cache.and_then(|c| c.golden(&golden_key)).cloned();
+        if cache.is_some() {
+            let hit = cached_golden.is_some();
+            note(traced, buffer, || TraceEvent::CacheLookup {
+                program: bench.name.clone(),
+                dataset: dataset.to_owned(),
+                core: core_u8,
+                probe: "golden".to_owned(),
+                mv: 0,
+                hit,
             });
-            let mut sc_runs = 0u32;
-            for iteration in 0..self.config.iterations {
-                if watchdog.ensure_responsive_observed(system, &mut recoveries) {
-                    // Recovery wiped the V/F setup; reapply it.
-                    self.apply_reliable_cores_setup(system, core);
-                }
-                self.set_swept_rail(system, voltage);
-                let seed = run_seed(
-                    self.config.seed,
-                    &bench.name,
-                    bench.dataset.label(),
-                    core,
-                    voltage.get(),
-                    iteration,
-                );
-                let record = system
-                    .run(program.as_ref(), core, seed)
-                    // lint: allow(no-panic) — watchdog.ensure_responsive_observed() ran this iteration
-                    .expect("ensured responsive before the run");
-                // Safe data collection: restore nominal before persisting
-                // the log (§2.2.1) — only possible if the board survived.
-                if system.is_responsive() {
-                    self.restore_swept_rail(system);
-                }
-                let classified = classify_run(
-                    &record,
-                    Some(golden),
-                    iteration,
-                    self.config.collect_counters,
-                );
-                if classified.effects.is_system_crash() {
-                    sc_runs += 1;
-                }
-                system.observe(|| TraceEvent::RunCompleted {
-                    program: classified.program.clone(),
-                    dataset: classified.dataset.clone(),
-                    core: core.index() as u8,
-                    mv: voltage.get(),
-                    iteration,
-                    effects: classified.effects.to_string(),
-                    severity: SeverityWeights::paper().run_severity(classified.effects),
-                    runtime_s: classified.runtime_s,
-                    energy_j: classified.energy_j,
-                    corrected_errors: classified.corrected_errors as u64,
-                    uncorrected_errors: classified.uncorrected_errors as u64,
-                });
-                runs.push(classified);
-            }
-            if sc_runs == self.config.iterations {
-                consecutive_all_sc += 1;
-            } else {
-                consecutive_all_sc = 0;
-            }
-            if self.config.crash_stop_steps > 0
-                && consecutive_all_sc >= self.config.crash_stop_steps
-            {
-                system.observe(|| TraceEvent::EarlyStop {
-                    program: bench.name.clone(),
-                    core: core.index() as u8,
-                    mv: voltage.get(),
-                    consecutive_all_sc,
-                });
-                break;
-            }
         }
-        // Leave the board responsive before handing it to the next item, so
-        // a trailing hang is recovered — and traced — inside the sweep that
-        // caused it. Attributing the recovery to the hanging sweep (instead
-        // of the next item's setup, which differs between serial and
-        // sharded schedules) keeps traced streams scheduling-independent.
-        watchdog.ensure_responsive_observed(system, &mut recoveries);
-        SweepRuns { golden, runs }
+        let golden = if let Some(entry) = cached_golden {
+            let golden = OutputDigest::from_value(entry.digest);
+            note(traced, buffer, || TraceEvent::GoldenCaptured {
+                program: bench.name.clone(),
+                dataset: dataset.to_owned(),
+                core: core_u8,
+                digest: golden.to_string(),
+                runtime_s: entry.runtime_s,
+            });
+            golden
+        } else {
+            let mut system = self.fresh_board(traced, buffer);
+            watchdog.ensure_responsive_observed(&mut system, &mut recoveries);
+            self.apply_reliable_cores_setup(&mut system, core);
+            let golden_seed = run_seed(self.config.seed, &bench.name, dataset, core, 0, u32::MAX);
+            let record = system
+                .run(program.as_ref(), core, golden_seed)
+                // lint: allow(no-panic) — a pristine board at nominal V/F is responsive
+                .expect("system responsive after watchdog check");
+            assert_eq!(
+                record.outcome,
+                margins_sim::RunOutcome::Completed,
+                "golden run at nominal must complete"
+            );
+            let golden = record.digest;
+            note(traced, buffer, || TraceEvent::GoldenCaptured {
+                program: bench.name.clone(),
+                dataset: dataset.to_owned(),
+                core: core_u8,
+                digest: golden.to_string(),
+                runtime_s: record.runtime_s,
+            });
+            if cache.is_some() {
+                fresh_golden = Some((
+                    golden_key,
+                    GoldenEntry {
+                        digest: golden.value(),
+                        runtime_s: record.runtime_s,
+                    },
+                ));
+            }
+            golden
+        };
+
+        let steps = self.config.step_count();
+        let prior = priors
+            .and_then(|p| p.get(&bench.name, dataset, core_u8))
+            .map(|p| p.on_grid(self.config.start_voltage.get()));
+        let mut plan = SearchPlan::for_strategy(
+            self.config.search,
+            steps,
+            self.config.crash_stop_steps,
+            prior,
+        );
+        let adaptive = self.config.search.is_adaptive();
+        let mut runs: Vec<ClassifiedRun> = Vec::new();
+        let weights = SeverityWeights::paper();
+
+        while let Some(step) = plan.next_step() {
+            let voltage = self.config.start_voltage.down_steps(step);
+            let step_key = StepKey {
+                chip: chip.clone(),
+                rail: rail_label(self.config.rail).to_owned(),
+                target_mhz: self.config.target_frequency.get(),
+                parked_mhz: self.config.parked_frequency.get(),
+                enhancements,
+                seed: self.config.seed,
+                iterations: self.config.iterations,
+                program: bench.name.clone(),
+                dataset: dataset.to_owned(),
+                core: core_u8,
+                mv: voltage.get(),
+            };
+            let cached_step = cache.and_then(|c| c.step(&step_key)).cloned();
+            if cache.is_some() {
+                let hit = cached_step.is_some();
+                note(traced, buffer, || TraceEvent::CacheLookup {
+                    program: bench.name.clone(),
+                    dataset: dataset.to_owned(),
+                    core: core_u8,
+                    probe: "step".to_owned(),
+                    mv: voltage.get(),
+                    hit,
+                });
+            }
+            let verdict = if let Some(entry) = cached_step {
+                // Replay. The original probe ran on a pristine board with
+                // seeds derived only from campaign coordinates, so its
+                // stored per-iteration outcomes are exactly what executing
+                // the probe now would produce.
+                cache_hits += 1;
+                let (pmd_mv, soc_mv) = match self.config.rail {
+                    SweptRail::Pmd => (voltage, SOC_NOMINAL),
+                    SweptRail::PcpSoc => (PMD_NOMINAL, voltage),
+                };
+                for (iteration, run) in entry.runs.iter().enumerate() {
+                    let classified = ClassifiedRun {
+                        program: bench.name.clone(),
+                        dataset: dataset.to_owned(),
+                        core,
+                        pmd_mv,
+                        soc_mv,
+                        freq: self.config.target_frequency,
+                        iteration: iteration as u32,
+                        effects: run.effects,
+                        corrected_errors: run.corrected_errors as usize,
+                        uncorrected_errors: run.uncorrected_errors as usize,
+                        runtime_s: run.runtime_s,
+                        energy_j: run.energy_j,
+                        counters: None,
+                    };
+                    note(traced, buffer, || TraceEvent::RunCompleted {
+                        program: classified.program.clone(),
+                        dataset: classified.dataset.clone(),
+                        core: core_u8,
+                        mv: voltage.get(),
+                        iteration: classified.iteration,
+                        effects: classified.effects.to_string(),
+                        severity: weights.run_severity(classified.effects),
+                        runtime_s: classified.runtime_s,
+                        energy_j: classified.energy_j,
+                        corrected_errors: classified.corrected_errors as u64,
+                        uncorrected_errors: classified.uncorrected_errors as u64,
+                    });
+                    runs.push(classified);
+                }
+                for _ in 0..entry.power_cycles {
+                    recoveries += 1;
+                    let recovery = recoveries;
+                    note(traced, buffer, || TraceEvent::WatchdogPowerCycle {
+                        recovery,
+                    });
+                }
+                cached_cycles += entry.power_cycles;
+                StepVerdict {
+                    abnormal: entry.any_abnormal(),
+                    any_sc: entry.any_system_crash(),
+                    all_sc: entry.all_system_crash(),
+                }
+            } else {
+                if adaptive {
+                    let phase = plan.phase();
+                    note(traced, buffer, || TraceEvent::SearchStep {
+                        program: bench.name.clone(),
+                        core: core_u8,
+                        strategy: self.config.search.name().to_owned(),
+                        phase: phase.to_owned(),
+                        step,
+                        mv: voltage.get(),
+                    });
+                }
+                machine_probes += 1;
+                let cycles_before = watchdog.power_cycles();
+                let mut system = self.fresh_board(traced, buffer);
+                self.apply_reliable_cores_setup(&mut system, core);
+                note(traced, buffer, || TraceEvent::VoltageStepped {
+                    rail: self.rail_name().to_owned(),
+                    mv: voltage.get(),
+                    step,
+                });
+                let mut step_runs: Vec<CachedRun> = Vec::new();
+                let mut sc_runs = 0u32;
+                let mut abnormal = false;
+                for iteration in 0..self.config.iterations {
+                    if watchdog.ensure_responsive_observed(&mut system, &mut recoveries) {
+                        // Recovery wiped the V/F setup; reapply it.
+                        self.apply_reliable_cores_setup(&mut system, core);
+                    }
+                    self.set_swept_rail(&mut system, voltage);
+                    let seed = run_seed(
+                        self.config.seed,
+                        &bench.name,
+                        dataset,
+                        core,
+                        voltage.get(),
+                        iteration,
+                    );
+                    let record = system
+                        .run(program.as_ref(), core, seed)
+                        // lint: allow(no-panic) — watchdog.ensure_responsive_observed() ran this iteration
+                        .expect("ensured responsive before the run");
+                    // Safe data collection: restore nominal before
+                    // persisting the log (§2.2.1) — only possible if the
+                    // board survived.
+                    if system.is_responsive() {
+                        self.restore_swept_rail(&mut system);
+                    }
+                    let classified = classify_run(
+                        &record,
+                        Some(golden),
+                        iteration,
+                        self.config.collect_counters,
+                    );
+                    if classified.effects.is_system_crash() {
+                        sc_runs += 1;
+                    }
+                    if !classified.effects.is_normal() {
+                        abnormal = true;
+                    }
+                    note(traced, buffer, || TraceEvent::RunCompleted {
+                        program: classified.program.clone(),
+                        dataset: classified.dataset.clone(),
+                        core: core_u8,
+                        mv: voltage.get(),
+                        iteration,
+                        effects: classified.effects.to_string(),
+                        severity: weights.run_severity(classified.effects),
+                        runtime_s: classified.runtime_s,
+                        energy_j: classified.energy_j,
+                        corrected_errors: classified.corrected_errors as u64,
+                        uncorrected_errors: classified.uncorrected_errors as u64,
+                    });
+                    if cache.is_some() {
+                        step_runs.push(CachedRun {
+                            effects: classified.effects,
+                            corrected_errors: classified.corrected_errors as u64,
+                            uncorrected_errors: classified.uncorrected_errors as u64,
+                            runtime_s: classified.runtime_s,
+                            energy_j: classified.energy_j,
+                        });
+                    }
+                    runs.push(classified);
+                }
+                // Recover a trailing hang inside the probe that caused it,
+                // so the probe's power-cycle count — and thus its cache
+                // entry and trace — never depends on what runs next.
+                watchdog.ensure_responsive_observed(&mut system, &mut recoveries);
+                let step_cycles = watchdog.power_cycles() - cycles_before;
+                if cache.is_some() {
+                    fresh_steps.push((
+                        step_key,
+                        StepEntry {
+                            runs: step_runs,
+                            power_cycles: step_cycles,
+                        },
+                    ));
+                }
+                StepVerdict {
+                    abnormal,
+                    any_sc: sc_runs > 0,
+                    all_sc: self.config.iterations > 0 && sc_runs == self.config.iterations,
+                }
+            };
+            plan.record(step, verdict);
+        }
+
+        if let Some((stop_step, consecutive_all_sc)) = plan.early_stop() {
+            note(traced, buffer, || TraceEvent::EarlyStop {
+                program: bench.name.clone(),
+                core: core_u8,
+                mv: self.config.start_voltage.down_steps(stop_step).get(),
+                consecutive_all_sc,
+            });
+        }
+        if adaptive {
+            note(traced, buffer, || TraceEvent::SearchConcluded {
+                program: bench.name.clone(),
+                core: core_u8,
+                strategy: self.config.search.name().to_owned(),
+                probed_steps: machine_probes,
+                grid_steps: steps,
+                cache_hits,
+            });
+        }
+        ItemResult {
+            golden,
+            runs,
+            power_cycles: watchdog.power_cycles() + cached_cycles,
+            fresh_golden,
+            fresh_steps,
+        }
     }
 
     fn set_swept_rail(&self, system: &mut System, voltage: Millivolts) {
@@ -545,6 +829,17 @@ struct TracedItem {
     golden: OutputDigest,
     runs: Vec<ClassifiedRun>,
     power_cycles: u32,
+    fresh_golden: Option<(GoldenKey, GoldenEntry)>,
+    fresh_steps: Vec<(StepKey, StepEntry)>,
+}
+
+/// What one (benchmark, core) item produced, before trace packaging.
+struct ItemResult {
+    golden: OutputDigest,
+    runs: Vec<ClassifiedRun>,
+    power_cycles: u32,
+    fresh_golden: Option<(GoldenKey, GoldenEntry)>,
+    fresh_steps: Vec<(StepKey, StepEntry)>,
 }
 
 /// Seals `event` into the canonical stream and fans it out to every sink.
@@ -555,9 +850,11 @@ fn emit_record(finalizer: &mut StreamFinalizer, sinks: &mut [&mut dyn Sink], eve
     }
 }
 
-struct SweepRuns {
-    golden: OutputDigest,
-    runs: Vec<ClassifiedRun>,
+/// Stages a runner-level event into the item's buffer when tracing.
+fn note(traced: bool, buffer: &EventBuffer, event: impl FnOnce() -> TraceEvent) {
+    if traced {
+        buffer.record(&event());
+    }
 }
 
 /// A nominal-conditions workload profile (Figure 6, phase 2): the full PMU
@@ -584,15 +881,74 @@ pub struct WorkloadProfile {
 pub struct UnknownBenchmark {
     /// The unresolvable benchmark name.
     pub name: String,
+    /// Suite benchmarks closest to the unresolvable name (best first).
+    pub suggestions: Vec<String>,
+}
+
+impl UnknownBenchmark {
+    /// An error for `name`, with near-miss suggestions from the suite.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        UnknownBenchmark {
+            name: name.to_owned(),
+            suggestions: suggest_benchmarks(name),
+        }
+    }
 }
 
 impl std::fmt::Display for UnknownBenchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown benchmark '{}'", self.name)
+        write!(f, "unknown benchmark '{}'", self.name)?;
+        if let Some((first, rest)) = self.suggestions.split_first() {
+            write!(f, " (did you mean '{first}'")?;
+            for s in rest {
+                write!(f, ", '{s}'")?;
+            }
+            write!(f, "?)")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for UnknownBenchmark {}
+
+/// Suite names close to `name`: within edit distance 2, or sharing a
+/// substring with it. At most three, best matches first.
+fn suggest_benchmarks(name: &str) -> Vec<String> {
+    let needle = name.to_ascii_lowercase();
+    let mut scored: Vec<(usize, &str)> = margins_workloads::suite::ALL_NAMES
+        .iter()
+        .filter_map(|candidate| {
+            let distance = edit_distance(&needle, candidate);
+            let related = distance <= 2
+                || (!needle.is_empty()
+                    && (candidate.contains(&needle) || needle.contains(candidate)));
+            related.then_some((distance, *candidate))
+        })
+        .collect();
+    scored.sort();
+    scored
+        .into_iter()
+        .take(3)
+        .map(|(_, n)| n.to_owned())
+        .collect()
+}
+
+/// Levenshtein distance via the single-row dynamic program.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut diagonal = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = diagonal + usize::from(ca != *cb);
+            diagonal = row[j + 1];
+            row[j + 1] = substitution.min(diagonal + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
 
 /// Profiles `benchmarks` at nominal conditions on `core` of a fresh chip
 /// (§4.1: "collecting the performance counters of the entire benchmarks
@@ -612,11 +968,8 @@ pub fn profile(
     benchmarks
         .iter()
         .map(|b| {
-            let program = margins_workloads::suite::by_name(&b.name, b.dataset).ok_or_else(
-                || UnknownBenchmark {
-                    name: b.name.clone(),
-                },
-            )?;
+            let program = margins_workloads::suite::by_name(&b.name, b.dataset)
+                .ok_or_else(|| UnknownBenchmark::new(&b.name))?;
             let record = system
                 .run(program.as_ref(), core, 0x0090_F11E)
                 // lint: allow(no-panic) — a fresh system at nominal V/F is responsive
@@ -741,6 +1094,31 @@ mod tests {
     }
 
     #[test]
+    fn cached_rerun_hits_and_preserves_outcome() {
+        let cfg = tiny_config("bwaves", 0, 915, 885, 2);
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+        let plain = campaign.execute();
+
+        let mut cache = CampaignCache::new();
+        let cold = campaign.execute_with(1, &mut [], Some(&mut cache), None);
+        assert!(!cache.is_empty(), "cold run must populate the cache");
+
+        let mut cache_after = cache.clone();
+        let warm = campaign.execute_with(1, &mut [], Some(&mut cache_after), None);
+        assert_eq!(
+            cache.to_jsonl(),
+            cache_after.to_jsonl(),
+            "a fully-cached rerun must not grow the cache"
+        );
+
+        for outcome in [&cold, &warm] {
+            assert_eq!(outcome.runs, plain.runs);
+            assert_eq!(outcome.goldens, plain.goldens);
+            assert_eq!(outcome.watchdog_power_cycles, plain.watchdog_power_cycles);
+        }
+    }
+
+    #[test]
     fn profiles_cover_all_counters_and_goldens() {
         let benches = vec![
             BenchmarkRef {
@@ -774,6 +1152,19 @@ mod tests {
     }
 
     #[test]
+    fn unknown_benchmark_suggests_near_misses() {
+        let err = UnknownBenchmark::new("namd2");
+        assert_eq!(err.suggestions.first().map(String::as_str), Some("namd"));
+        let rendered = err.to_string();
+        assert!(rendered.contains("unknown benchmark 'namd2'"), "{rendered}");
+        assert!(rendered.contains("did you mean 'namd'"), "{rendered}");
+
+        let hopeless = UnknownBenchmark::new("zzzzzz");
+        assert!(hopeless.suggestions.is_empty());
+        assert!(!hopeless.to_string().contains("did you mean"));
+    }
+
+    #[test]
     fn traced_execution_streams_a_valid_stream_and_matches_outcome() {
         let cfg = tiny_config("bwaves", 0, 915, 895, 2);
         let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
@@ -789,9 +1180,10 @@ mod tests {
         // Tracing must not perturb campaign results.
         assert_eq!(traced.runs.len(), untraced.runs.len());
         for (a, b) in traced.runs.iter().zip(&untraced.runs) {
-            assert_eq!((&a.program, a.core, a.pmd_mv, a.iteration), (
-                &b.program, b.core, b.pmd_mv, b.iteration
-            ));
+            assert_eq!(
+                (&a.program, a.core, a.pmd_mv, a.iteration),
+                (&b.program, b.core, b.pmd_mv, b.iteration)
+            );
             assert_eq!(a.effects, b.effects);
         }
         assert_eq!(traced.goldens, untraced.goldens);
@@ -898,5 +1290,13 @@ mod tests {
             run_seed(1, "bwaves", "train", CoreId::new(0), 900, 0)
         );
         assert_eq!(s(900, 3), s(900, 3), "seeds are deterministic");
+    }
+
+    #[test]
+    fn edit_distance_matches_known_values() {
+        assert_eq!(edit_distance("", "namd"), 4);
+        assert_eq!(edit_distance("namd", "namd"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("mcf", "lbm"), 3);
     }
 }

@@ -82,6 +82,15 @@ impl OutputDigest {
     pub fn value(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a digest from a previously exported [`value`] — the
+    /// deserialization side of persisted campaign results.
+    ///
+    /// [`value`]: OutputDigest::value
+    #[must_use]
+    pub const fn from_value(v: u64) -> Self {
+        OutputDigest(v)
+    }
 }
 
 impl Default for OutputDigest {

@@ -126,15 +126,62 @@ pub enum TraceEvent {
         severity: f64,
         /// Modelled runtime, seconds.
         runtime_s: f64,
-        /// Modelled energy, joules. Deterministic because every sweep runs
-        /// on a pristine board (the §2.2.1 initialization phase), so the
-        /// thermal history feeding the power model never depends on which
-        /// items a worker executed before.
+        /// Modelled energy, joules. Deterministic because every voltage
+        /// step runs on a pristine board (the §2.2.1 initialization
+        /// phase), so the thermal history feeding the power model never
+        /// depends on which probes executed before.
         energy_j: f64,
         /// Corrected-error reports during the run.
         corrected_errors: u64,
         /// Uncorrected-error reports during the run.
         uncorrected_errors: u64,
+    },
+    /// An adaptive search strategy selected the next voltage step to probe
+    /// (emitted only for machine-executed probes, never for cache replays).
+    SearchStep {
+        /// Benchmark name.
+        program: String,
+        /// Target core index.
+        core: u8,
+        /// Search strategy name (`bisection` or `warm-start`).
+        strategy: String,
+        /// Search phase: `vmin` (first-abnormal boundary) or `crash`
+        /// (first-all-system-crash boundary).
+        phase: String,
+        /// 0-based grid step index chosen.
+        step: u32,
+        /// Step voltage, millivolts.
+        mv: u32,
+    },
+    /// The campaign result cache was consulted for a probe.
+    CacheLookup {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// What was looked up: `golden` or `step`.
+        probe: String,
+        /// Step voltage, millivolts (0 for golden lookups).
+        mv: u32,
+        /// Whether the cache held the result (hit ⇒ no machine work).
+        hit: bool,
+    },
+    /// An adaptive search finished a (benchmark, core) item.
+    SearchConcluded {
+        /// Benchmark name.
+        program: String,
+        /// Target core index.
+        core: u8,
+        /// Search strategy name.
+        strategy: String,
+        /// Voltage steps actually probed on the machine.
+        probed_steps: u32,
+        /// Voltage steps the exhaustive grid would have visited.
+        grid_steps: u32,
+        /// Steps answered from the campaign cache instead of execution.
+        cache_hits: u32,
     },
     /// The crash-stop policy ended a sweep early.
     EarlyStop {
@@ -194,6 +241,9 @@ impl TraceEvent {
             TraceEvent::WatchdogPowerCycle { .. } => "WatchdogPowerCycle",
             TraceEvent::CacheErrorReported { .. } => "CacheErrorReported",
             TraceEvent::RunCompleted { .. } => "RunCompleted",
+            TraceEvent::SearchStep { .. } => "SearchStep",
+            TraceEvent::CacheLookup { .. } => "CacheLookup",
+            TraceEvent::SearchConcluded { .. } => "SearchConcluded",
             TraceEvent::EarlyStop { .. } => "EarlyStop",
             TraceEvent::SweepFinished { .. } => "SweepFinished",
             TraceEvent::CampaignFinished { .. } => "CampaignFinished",

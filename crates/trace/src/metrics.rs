@@ -182,6 +182,24 @@ impl Sink for MetricsRegistry {
                 self.observe("run_severity", &SEVERITY_BOUNDS, *severity);
                 self.pending_step.push(*severity);
             }
+            TraceEvent::SearchStep { .. } => self.incr("search_steps", 1),
+            TraceEvent::CacheLookup { hit, .. } => {
+                let name = if *hit {
+                    "campaign_cache_hits"
+                } else {
+                    "campaign_cache_misses"
+                };
+                self.incr(name, 1);
+            }
+            TraceEvent::SearchConcluded {
+                probed_steps,
+                grid_steps,
+                ..
+            } => {
+                self.incr("search_items", 1);
+                self.incr("search_probed_steps", u64::from(*probed_steps));
+                self.incr("search_grid_steps", u64::from(*grid_steps));
+            }
             TraceEvent::EarlyStop { .. } => self.incr("early_stops", 1),
             TraceEvent::SweepFinished { .. } => self.flush_step(),
             TraceEvent::CampaignFinished { .. } => self.flush_step(),

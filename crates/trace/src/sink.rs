@@ -169,7 +169,9 @@ impl<W: Write> Sink for ProgressSink<W> {
             TraceEvent::SweepStarted { program, core, .. } => {
                 self.started_sweeps += 1;
                 let (n, total) = (self.started_sweeps, self.total_sweeps);
-                self.line(&format!("trace: [{n}/{total}] sweeping {program} on core{core}"));
+                self.line(&format!(
+                    "trace: [{n}/{total}] sweeping {program} on core{core}"
+                ));
             }
             TraceEvent::RunCompleted { effects, .. } => {
                 self.runs += 1;
@@ -183,12 +185,31 @@ impl<W: Write> Sink for ProgressSink<W> {
                     "trace:   watchdog power cycle (recovery {recovery} this sweep)"
                 ));
             }
-            TraceEvent::EarlyStop { program, core, mv, .. } => {
+            TraceEvent::SearchConcluded {
+                program,
+                core,
+                strategy,
+                probed_steps,
+                grid_steps,
+                cache_hits,
+            } => {
+                self.line(&format!(
+                    "trace:   {strategy} search: {program} core{core} probed {probed_steps}/{grid_steps} steps ({cache_hits} cache hits)"
+                ));
+            }
+            TraceEvent::EarlyStop {
+                program, core, mv, ..
+            } => {
                 self.line(&format!(
                     "trace:   early stop: {program} core{core} all-SC down to {mv}mV"
                 ));
             }
-            TraceEvent::SweepFinished { program, core, runs, .. } => {
+            TraceEvent::SweepFinished {
+                program,
+                core,
+                runs,
+                ..
+            } => {
                 self.line(&format!(
                     "trace:   {program} core{core} done ({runs} runs; campaign totals: {} runs, {} abnormal, {} power cycles)",
                     self.runs, self.abnormal_runs, self.power_cycles
@@ -295,7 +316,10 @@ mod tests {
             assert!(v.get("event").is_some());
             assert!(v.get("seq").is_some());
         }
-        assert!(text.lines().next().map_or(false, |l| l.contains("\"event\":\"CampaignStarted\"")));
+        assert!(text
+            .lines()
+            .next()
+            .map_or(false, |l| l.contains("\"event\":\"CampaignStarted\"")));
     }
 
     #[test]

@@ -99,11 +99,10 @@ pub fn validate_jsonl(input: &str) -> Result<StreamStats, StreamError> {
     let mut last_t = 0.0f64;
     for (idx, line) in input.lines().enumerate() {
         let lineno = idx + 1;
-        let record: TraceRecord =
-            serde_json::from_str(line).map_err(|e| StreamError::Parse {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+        let record: TraceRecord = serde_json::from_str(line).map_err(|e| StreamError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
         if record.seq != stats.records {
             return Err(StreamError::Sequence {
                 line: lineno,
@@ -165,6 +164,9 @@ pub fn validate_jsonl(input: &str) -> Result<StreamStats, StreamError> {
             | TraceEvent::WatchdogPowerCycle { .. }
             | TraceEvent::CacheErrorReported { .. }
             | TraceEvent::RunCompleted { .. }
+            | TraceEvent::SearchStep { .. }
+            | TraceEvent::CacheLookup { .. }
+            | TraceEvent::SearchConcluded { .. }
             | TraceEvent::EarlyStop { .. } => {
                 if !in_sweep {
                     return Err(nesting("sweep-scoped event outside a sweep"));

@@ -13,10 +13,12 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use voltmargin::characterize::cache::CampaignCache;
 use voltmargin::characterize::config::{CampaignConfig, SweptRail};
 use voltmargin::characterize::regions::analyze;
 use voltmargin::characterize::report;
 use voltmargin::characterize::runner::{profile, Campaign};
+use voltmargin::characterize::search::SearchStrategy;
 use voltmargin::characterize::severity::SeverityWeights;
 use voltmargin::energy::schedule::Scheduler;
 use voltmargin::energy::tradeoff::pareto_curve;
@@ -61,6 +63,12 @@ common options:
   --tasks a,b,c             (govern) workloads to schedule
   --max-loss F              (govern) performance-loss budget, e.g. 0.25
   --seed N                  campaign seed (default 3405691582)
+  --search STRATEGY         (characterize) exhaustive|bisection|warm-start
+                            (default exhaustive; adaptive strategies probe a
+                            subset of the grid and report identical regions)
+  --cache FILE              (characterize) persistent campaign cache (JSONL);
+                            characterized points are replayed, fresh results
+                            are appended after the campaign
   --trace FILE              write the deterministic JSONL telemetry stream
   --progress                (characterize) live sweep progress on stderr";
 
@@ -172,6 +180,12 @@ fn build_config(opts: &Options) -> Result<CampaignConfig, String> {
     };
     let default_start = if rail == SweptRail::Pmd { 930 } else { 900 };
     let default_floor = if rail == SweptRail::Pmd { 840 } else { 710 };
+    let search = match opts.flags.get("search") {
+        None => SearchStrategy::Exhaustive,
+        Some(s) => SearchStrategy::parse(s).ok_or_else(|| {
+            format!("--search: unknown strategy '{s}' (exhaustive|bisection|warm-start)")
+        })?,
+    };
     CampaignConfig::builder()
         .benchmarks(opts.benchmarks()?)
         .cores(opts.cores()?)
@@ -180,6 +194,7 @@ fn build_config(opts: &Options) -> Result<CampaignConfig, String> {
         .floor_voltage(Millivolts::new(opts.parse_num("floor", default_floor)?))
         .rail(rail)
         .seed(opts.parse_num("seed", 0xCAFE_BABEu64)?)
+        .search(search)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -201,14 +216,28 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
 
     let mut jsonl = match &trace_path {
         Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+            let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
             Some(JsonlSink::new(std::io::BufWriter::new(file)))
         }
         None => None,
     };
     let mut progress_sink = progress.then(|| ProgressSink::new(std::io::stderr()));
     let mut metrics = MetricsRegistry::new();
+
+    let cache_path = opts.flags.get("cache").cloned();
+    let mut cache = match &cache_path {
+        Some(path) => {
+            let loaded = CampaignCache::load(path).map_err(|e| e.to_string())?;
+            if !loaded.is_empty() {
+                eprintln!(
+                    "campaign cache: {} entries loaded from {path}",
+                    loaded.len()
+                );
+            }
+            Some(loaded)
+        }
+        None => None,
+    };
 
     let campaign = Campaign::new(spec, config);
     let outcome = if traced {
@@ -220,9 +249,9 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
             sinks.push(sink);
         }
         sinks.push(&mut metrics);
-        campaign.execute_traced(threads, &mut sinks)
+        campaign.execute_with(threads, &mut sinks, cache.as_mut(), None)
     } else {
-        campaign.execute_parallel(threads)
+        campaign.execute_with(threads, &mut [], cache.as_mut(), None)
     };
     let result = analyze(&outcome, &SeverityWeights::paper());
 
@@ -249,9 +278,15 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         eprintln!("wrote {dir}/runs.csv, regions.csv, severity.csv");
     }
 
+    if let (Some(cache), Some(path)) = (&cache, &cache_path) {
+        cache.save(path).map_err(|e| e.to_string())?;
+        eprintln!("campaign cache: {} entries saved to {path}", cache.len());
+    }
+
     if let (Some(sink), Some(path)) = (jsonl, &trace_path) {
         let lines = sink.lines();
-        sink.into_inner().map_err(|e| format!("--trace {path}: {e}"))?;
+        sink.into_inner()
+            .map_err(|e| format!("--trace {path}: {e}"))?;
         eprintln!("wrote {lines} trace records to {path}");
     }
     if traced {
@@ -372,7 +407,8 @@ fn govern(opts: &mut Options) -> Result<(), String> {
         }
         sink.finish();
         let lines = sink.lines();
-        sink.into_inner().map_err(|e| format!("--trace {path}: {e}"))?;
+        sink.into_inner()
+            .map_err(|e| format!("--trace {path}: {e}"))?;
         eprintln!("wrote {lines} trace records to {path}");
         decision
     } else {

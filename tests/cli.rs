@@ -99,6 +99,77 @@ fn profile_unknown_benchmark_reports_a_clean_error() {
 }
 
 #[test]
+fn profile_near_miss_suggests_the_closest_benchmark() {
+    let out = voltmargin(&["profile", "--benchmarks", "namd2", "--cores", "0"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown benchmark 'namd2'"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("did you mean 'namd'"), "stderr: {stderr}");
+}
+
+#[test]
+fn characterize_cache_replays_a_second_run() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-cachecli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("vmin-cache.jsonl");
+    let run = || {
+        voltmargin(&[
+            "characterize",
+            "--benchmarks",
+            "namd",
+            "--cores",
+            "4",
+            "--iterations",
+            "2",
+            "--start",
+            "890",
+            "--floor",
+            "875",
+            "--threads",
+            "2",
+            "--search",
+            "bisection",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_stderr = String::from_utf8(cold.stderr).unwrap();
+    assert!(
+        cold_stderr.contains("entries saved to"),
+        "stderr: {cold_stderr}"
+    );
+    let persisted = std::fs::read_to_string(&cache).unwrap();
+    assert!(persisted.lines().count() > 0, "cache file has entries");
+
+    let warm = run();
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm_stderr = String::from_utf8(warm.stderr).unwrap();
+    assert!(
+        warm_stderr.contains("entries loaded from"),
+        "stderr: {warm_stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&warm.stdout),
+        String::from_utf8_lossy(&cold.stdout),
+        "a cache replay must report the identical characterization"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn characterize_streams_trace_and_progress() {
     let dir = std::env::temp_dir().join(format!("voltmargin-trace-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -127,7 +198,10 @@ fn characterize_streams_trace_and_progress() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("sweeping namd on core4"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("sweeping namd on core4"),
+        "stderr: {stderr}"
+    );
     assert!(stderr.contains("campaign finished"), "stderr: {stderr}");
     assert!(stderr.contains("campaign metrics:"), "stderr: {stderr}");
     assert!(stderr.contains("runs_total"), "stderr: {stderr}");

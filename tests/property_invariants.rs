@@ -1,11 +1,21 @@
 //! Property-based invariants across the public API.
+//!
+//! The campaign-cache properties live in plain helper functions exercised
+//! twice: by deterministic example tests (always run) and by proptest
+//! wrappers drawing arbitrary inputs.
 
 use proptest::prelude::*;
+use voltmargin::characterize::cache::{
+    CacheError, CachedRun, CampaignCache, GoldenEntry, GoldenKey, StepEntry, StepKey,
+};
+use voltmargin::characterize::config::CampaignConfig;
 use voltmargin::characterize::effect::{Effect, EffectSet};
 use voltmargin::characterize::regions::RegionKind;
+use voltmargin::characterize::runner::Campaign;
+use voltmargin::characterize::search::SearchStrategy;
 use voltmargin::characterize::severity::SeverityWeights;
 use voltmargin::predict::{r2_score, train_test_split, LinearRegression};
-use voltmargin::sim::Millivolts;
+use voltmargin::sim::{ChipSpec, CoreId, Corner, Millivolts};
 
 fn arb_effect() -> impl Strategy<Value = Effect> {
     prop::sample::select(vec![
@@ -122,5 +132,230 @@ proptest! {
         let model = LinearRegression::fit(&rows, &y).unwrap();
         let pred = model.predict_many(&rows);
         prop_assert!(r2_score(&y, &pred) >= -1e-6);
+    }
+}
+
+/// A deterministic campaign cache with `n` step entries (and a golden for
+/// every other one), all fields mixed from `salt` so nearby salts produce
+/// structurally different keys, runs and float payloads.
+fn sample_cache(n: usize, salt: u64) -> CampaignCache {
+    let effects = [
+        EffectSet::new(),
+        EffectSet::of(Effect::Sdc),
+        EffectSet::of(Effect::Ce),
+        EffectSet::of(Effect::Sc),
+        EffectSet::of(Effect::Ue).union(EffectSet::of(Effect::Ac)),
+    ];
+    let programs = ["bwaves", "namd", "mcf"];
+    let mut cache = CampaignCache::new();
+    for i in 0..n {
+        let k = salt
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let runs = (0..(k % 4))
+            .map(|j| CachedRun {
+                effects: effects[((k >> j) % effects.len() as u64) as usize],
+                corrected_errors: k % 17,
+                uncorrected_errors: k % 5,
+                runtime_s: (k % 1000) as f64 * 1e-4,
+                energy_j: (k % 777) as f64 * 1e-3,
+            })
+            .collect();
+        cache.insert_step(
+            StepKey {
+                chip: format!("TTT#{}", k % 3),
+                rail: if k & 1 == 0 { "vdd" } else { "soc" }.to_owned(),
+                target_mhz: 2400,
+                parked_mhz: 1200 + (k % 7) as u32,
+                enhancements: (k >> 3) as u8 & 0x7,
+                seed: k,
+                iterations: 1 + (k % 9) as u32,
+                program: programs[(k % 3) as usize].to_owned(),
+                dataset: if k & 2 == 0 { "ref" } else { "train" }.to_owned(),
+                core: (k % 8) as u8,
+                mv: 830 + 5 * (k % 24) as u32,
+            },
+            StepEntry {
+                runs,
+                power_cycles: (k % 3) as u32,
+            },
+        );
+        if i % 2 == 0 {
+            cache.insert_golden(
+                GoldenKey {
+                    chip: format!("TFF#{}", k % 2),
+                    target_mhz: 2400,
+                    parked_mhz: 1200,
+                    enhancements: (k % 8) as u8,
+                    seed: k,
+                    program: programs[(k % 3) as usize].to_owned(),
+                    dataset: "ref".to_owned(),
+                    core: (k % 8) as u8,
+                },
+                GoldenEntry {
+                    digest: k ^ 0xABCD,
+                    runtime_s: (k % 500) as f64 * 1e-3,
+                },
+            );
+        }
+    }
+    cache
+}
+
+/// A cache must survive serialize → parse → serialize with byte-identical
+/// JSONL and entry-identical contents.
+fn check_roundtrip(cache: &CampaignCache) {
+    let text = cache.to_jsonl();
+    let reparsed = CampaignCache::from_jsonl(&text).expect("serialized cache must reparse");
+    assert_eq!(reparsed.len(), cache.len());
+    assert_eq!(
+        reparsed.to_jsonl(),
+        text,
+        "JSONL encoding must be byte-deterministic across a round-trip"
+    );
+    for (key, entry) in cache.steps() {
+        assert_eq!(
+            reparsed.step(key),
+            Some(entry),
+            "step entry must survive the round-trip"
+        );
+    }
+}
+
+/// Parsing mangled cache text must yield `Ok` or a typed parse error —
+/// never a panic, never an I/O error class.
+fn expect_typed_parse(input: &str) {
+    match CampaignCache::from_jsonl(input) {
+        Ok(_) => {}
+        Err(CacheError::Corrupt { line, .. }) => assert!(line >= 1, "corrupt lines are 1-based"),
+        Err(e) => panic!("parsing returned a non-parse error class: {e}"),
+    }
+}
+
+/// Truncates the sample cache's JSONL at an arbitrary byte and flips an
+/// arbitrary byte; both mutations must parse to `Ok` or `Corrupt`.
+fn check_corrupt_no_panic(cut: usize, pos: usize, byte: u8) {
+    let text = sample_cache(6, 0xC0FF_EE00).to_jsonl();
+    let bytes = text.as_bytes();
+    let truncated = String::from_utf8_lossy(&bytes[..cut % (bytes.len() + 1)]).into_owned();
+    expect_typed_parse(&truncated);
+    let mut flipped = bytes.to_vec();
+    let at = pos % flipped.len();
+    flipped[at] = byte;
+    expect_typed_parse(&String::from_utf8_lossy(&flipped).into_owned());
+}
+
+/// A campaign must produce the identical outcome with no cache, with a
+/// cold cache being populated, and with a warmed cache replaying — for
+/// both the exhaustive sweep and an adaptive search.
+fn check_cache_preserves_outcome(seed: u64) {
+    let config = |strategy: SearchStrategy| {
+        CampaignConfig::builder()
+            .benchmarks(["namd"])
+            .cores([CoreId::new(4)])
+            .iterations(1)
+            .start_voltage(Millivolts::new(890))
+            .floor_voltage(Millivolts::new(875))
+            .seed(seed)
+            .search(strategy)
+            .build()
+            .expect("valid configuration")
+    };
+    for strategy in [SearchStrategy::Exhaustive, SearchStrategy::Bisection] {
+        let plain = Campaign::new(ChipSpec::new(Corner::Ttt, 0), config(strategy)).execute_with(
+            1,
+            &mut [],
+            None,
+            None,
+        );
+        let mut cache = CampaignCache::new();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), config(strategy));
+        let cold = campaign.execute_with(1, &mut [], Some(&mut cache), None);
+        let warm = campaign.execute_with(1, &mut [], Some(&mut cache), None);
+        assert_eq!(
+            plain.runs, cold.runs,
+            "{strategy}: cold cache changed the runs"
+        );
+        assert_eq!(plain.goldens, cold.goldens);
+        assert_eq!(
+            cold.runs, warm.runs,
+            "{strategy}: cache replay changed the runs"
+        );
+        assert_eq!(cold.goldens, warm.goldens);
+        assert_eq!(cold.watchdog_power_cycles, warm.watchdog_power_cycles);
+        // A cache a real campaign populated must round-trip too.
+        check_roundtrip(&cache);
+    }
+}
+
+#[test]
+fn campaign_cache_roundtrip_examples() {
+    for (n, salt) in [(0, 1), (1, 0xDEAD), (7, 42), (24, 0x5EED)] {
+        check_roundtrip(&sample_cache(n, salt));
+    }
+}
+
+#[test]
+fn corrupted_campaign_caches_fail_without_panicking() {
+    assert!(matches!(
+        CampaignCache::from_jsonl("not json\n"),
+        Err(CacheError::Corrupt { line: 1, .. })
+    ));
+    for (cut, pos, byte) in [
+        (0, 0, b'{'),
+        (17, 3, b'}'),
+        (usize::MAX, 25, 0xFF),
+        (101, 7, b'0'),
+    ] {
+        check_corrupt_no_panic(cut, pos, byte);
+    }
+}
+
+#[test]
+fn campaign_cache_load_and_save_are_typed() {
+    let missing = CampaignCache::load("/nonexistent/voltmargin-cache.jsonl")
+        .expect("a missing cache file is an empty cache");
+    assert!(missing.is_empty());
+    assert!(matches!(
+        CampaignCache::load(std::env::temp_dir()),
+        Err(CacheError::Io { .. })
+    ));
+    let path = std::env::temp_dir().join(format!("voltmargin-cache-{}.jsonl", std::process::id()));
+    let cache = sample_cache(5, 77);
+    cache.save(&path).expect("cache saves");
+    let loaded = CampaignCache::load(&path).expect("saved cache loads");
+    assert_eq!(loaded.to_jsonl(), cache.to_jsonl());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cache_lookups_preserve_outcomes_example() {
+    check_cache_preserves_outcome(0xBEEF);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cache_jsonl_roundtrip_is_lossless(n in 0usize..24, salt in any::<u64>()) {
+        check_roundtrip(&sample_cache(n, salt));
+    }
+
+    #[test]
+    fn corrupted_caches_fail_typed_never_panic(
+        cut in any::<usize>(),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        check_corrupt_no_panic(cut, pos, byte);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cache_lookups_never_change_outcomes(seed in any::<u64>()) {
+        check_cache_preserves_outcome(seed);
     }
 }
