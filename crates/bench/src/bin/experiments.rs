@@ -1,12 +1,16 @@
 //! The experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p margins-bench --bin experiments -- [--quick] [--trace-dir DIR] <id>...
+//! cargo run --release -p margins-bench --bin experiments -- \
+//!     [--quick] [--trace-dir DIR] [--metrics-out FILE] <id>...
 //! cargo run --release -p margins-bench --bin experiments -- all
 //! ```
 //!
 //! With `--trace-dir`, the shared figure-3/4 characterization writes one
-//! deterministic JSONL telemetry stream per chip into the directory.
+//! deterministic JSONL telemetry stream per chip into the directory, plus
+//! a `fig34-<chip>-summary.md` analytics report per chip. With
+//! `--metrics-out`, the combined metrics of all three campaigns are
+//! written as an OpenMetrics text exposition.
 //!
 //! Experiment ids: `table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4
 //! case1 fig7 fig8 fig9 headline sec6 socrail search all`.
@@ -21,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut ids: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -33,6 +38,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics-out needs a file");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
                 std::process::exit(2);
@@ -42,7 +54,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--trace-dir DIR] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail search all"
+            "usage: experiments [--quick] [--trace-dir DIR] [--metrics-out FILE] <id>... \n  ids: table2 table3 table4 fig3 fig4 fig5 sec3-2 sec3-4 case1 fig7 fig8 fig9 headline sec6 socrail search all"
         );
         std::process::exit(2);
     }
@@ -77,7 +89,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        let c = match fig34::characterize_all_traced(&scale, trace_dir.as_deref()) {
+        let mut metrics = metrics_out
+            .as_ref()
+            .map(|_| margins_trace::MetricsRegistry::new());
+        let c = match fig34::characterize_all_instrumented(
+            &scale,
+            trace_dir.as_deref(),
+            metrics.as_mut(),
+        ) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("--trace-dir: {e}");
@@ -85,7 +104,14 @@ fn main() {
             }
         };
         if let Some(dir) = &trace_dir {
-            eprintln!("[trace streams written to {}]", dir.display());
+            eprintln!("[trace streams and summaries written to {}]", dir.display());
+        }
+        if let (Some(path), Some(registry)) = (&metrics_out, &metrics) {
+            if let Err(e) = std::fs::write(path, registry.to_openmetrics()) {
+                eprintln!("--metrics-out {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[metrics exposition written to {}]", path.display());
         }
         eprintln!(
             "[characterized 3 chips in {:.1}s]",

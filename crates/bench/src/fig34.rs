@@ -64,19 +64,59 @@ pub fn characterize_all_traced(
     scale: &Scale,
     trace_dir: Option<&std::path::Path>,
 ) -> std::io::Result<Vec<ChipCharacterization>> {
+    characterize_all_instrumented(scale, trace_dir, None)
+}
+
+/// Like [`characterize_all_traced`], but with the full observability
+/// surface: alongside each chip's JSONL stream a per-chip analytics
+/// summary (`fig34-<chip>-summary.md`, via `margins-scope`) is written,
+/// and when a `metrics` registry is supplied every chip's record stream
+/// is accumulated into it for OpenMetrics exposition.
+///
+/// # Errors
+///
+/// Returns the first IO error hit while creating or writing an output
+/// file.
+pub fn characterize_all_instrumented(
+    scale: &Scale,
+    trace_dir: Option<&std::path::Path>,
+    mut metrics: Option<&mut margins_trace::MetricsRegistry>,
+) -> std::io::Result<Vec<ChipCharacterization>> {
     let mut out = Vec::new();
     for spec in crate::chips::all() {
-        match trace_dir {
-            Some(dir) => {
-                let name = format!("fig34-{}.jsonl", spec.to_string().replace('#', "-"));
-                let file = std::fs::File::create(dir.join(name))?;
-                let mut sink = margins_trace::JsonlSink::new(std::io::BufWriter::new(file));
-                let c = characterize_chip_traced(spec, scale, &mut [&mut sink]);
-                sink.into_inner()?;
-                out.push(c);
-            }
-            None => out.push(characterize_chip(spec, scale)),
+        let instrumented = trace_dir.is_some() || metrics.is_some();
+        if !instrumented {
+            out.push(characterize_chip(spec, scale));
+            continue;
         }
+        // One in-memory copy of the stream serves the summary, the
+        // registry and (via JsonlSink) the on-disk trace, so every
+        // artifact describes the identical record sequence.
+        let mut memory = margins_trace::MemorySink::new();
+        let c = match trace_dir {
+            Some(dir) => {
+                let stem = format!("fig34-{}", spec.to_string().replace('#', "-"));
+                let file = std::fs::File::create(dir.join(format!("{stem}.jsonl")))?;
+                let mut sink = margins_trace::JsonlSink::new(std::io::BufWriter::new(file));
+                let c = characterize_chip_traced(spec, scale, &mut [&mut sink, &mut memory]);
+                sink.into_inner()?;
+                let summary = margins_scope::summarize_records(&memory.records)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                std::fs::write(
+                    dir.join(format!("{stem}-summary.md")),
+                    margins_scope::markdown(&summary),
+                )?;
+                c
+            }
+            None => characterize_chip_traced(spec, scale, &mut [&mut memory]),
+        };
+        if let Some(registry) = metrics.as_deref_mut() {
+            for record in &memory.records {
+                margins_trace::Sink::emit(registry, record);
+            }
+            margins_trace::Sink::finish(registry);
+        }
+        out.push(c);
     }
     Ok(out)
 }

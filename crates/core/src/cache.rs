@@ -11,16 +11,17 @@
 //! The cache is a pair of [`BTreeMap`]s (step probes and golden
 //! captures), persisted as JSONL with one record per line in key order,
 //! so the byte stream is deterministic for a given content. Serialization
-//! is hand-rolled — a small writer plus a minimal recursive-descent JSON
-//! reader — so the on-disk format is fully controlled by this module,
-//! floats round-trip exactly (shortest representation), and a corrupted
-//! or truncated file is rejected with a typed [`CacheError`], never a
-//! panic.
+//! is hand-rolled — a small writer plus the shared [`margins_trace::json`]
+//! recursive-descent reader — so the on-disk format is fully controlled
+//! by this module, floats round-trip exactly (shortest representation),
+//! and a corrupted or truncated file is rejected with a typed
+//! [`CacheError`], never a panic.
 
 use crate::config::{CampaignConfig, SweptRail};
 use crate::effect::EffectSet;
 use crate::search::{ItemPrior, SearchPriors};
 use margins_sim::Enhancements;
+use margins_trace::json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
@@ -462,36 +463,15 @@ fn push_raw_field(out: &mut String, name: &str, raw: &str) {
 
 /// Appends `value` as a JSON string literal.
 fn push_json_string(out: &mut String, value: &str) {
-    out.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                // lint: allow(no-panic) — write! to String is infallible
-                write!(out, "\\u{:04x}", c as u32).expect("String write is infallible");
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    json::escape_into(out, value);
 }
 
-/// Shortest round-trip representation of a finite `f64` (`{:?}` always
-/// prints a form `f64::from_str` maps back to the same bits).
+/// Shortest round-trip representation of a finite `f64`; non-finite values
+/// never occur in modelled runtimes/energies and serialize defensively as
+/// `null` so the reader rejects the record instead of producing invalid
+/// JSON.
 fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else {
-        // Non-finite values never occur in modelled runtimes/energies;
-        // serialize defensively as null so the reader rejects the record
-        // instead of producing invalid JSON.
-        "null".to_owned()
-    }
+    json::fmt_f64(v)
 }
 
 /// Typed access to the fields of a parsed JSON object.
@@ -555,225 +535,6 @@ impl<'a> Fields<'a> {
         match self.get(name)? {
             json::Value::Array(items) => Ok(items),
             _ => Err(format!("field '{name}' is not an array")),
-        }
-    }
-}
-
-/// A minimal recursive-descent JSON reader for the cache's own records.
-///
-/// Numbers keep their raw token so 64-bit integers (campaign seeds) never
-/// pass through `f64` and lose precision. Errors are plain messages; the
-/// caller attaches the line number.
-mod json {
-    use std::collections::BTreeMap;
-
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// A number, as its raw token.
-        Number(String),
-        /// A string, unescaped.
-        String(String),
-        /// An array.
-        Array(Vec<Value>),
-        /// An object. Duplicate keys keep the last occurrence.
-        Object(BTreeMap<String, Value>),
-    }
-
-    /// Parses exactly one JSON value spanning the whole input.
-    pub fn parse(input: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn require(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!(
-                    "expected '{}' at offset {}",
-                    char::from(b),
-                    self.pos
-                ))
-            }
-        }
-
-        fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
-            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-                self.pos += text.len();
-                Ok(value)
-            } else {
-                Err(format!("invalid literal at offset {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::String(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                Some(c) => Err(format!("unexpected byte 0x{c:02x} at offset {}", self.pos)),
-                None => Err("unexpected end of input".to_owned()),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.require(b'{')?;
-            let mut map = BTreeMap::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(map));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.require(b':')?;
-                self.skip_ws();
-                let value = self.value()?;
-                map.insert(key, value);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(map));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.require(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.require(b'"')?;
-            let mut out = String::new();
-            loop {
-                let start = self.pos;
-                while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
-                    self.pos += 1;
-                }
-                out.push_str(
-                    std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
-                );
-                match self.peek() {
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'b') => out.push('\u{8}'),
-                            Some(b'f') => out.push('\u{c}'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or("truncated \\u escape")?;
-                                let hex = std::str::from_utf8(hex)
-                                    .map_err(|_| "non-ASCII \\u escape".to_owned())?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
-                                // Surrogates never appear in this module's
-                                // own output; reject rather than combine.
-                                out.push(
-                                    char::from_u32(code)
-                                        .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
-                                );
-                                self.pos += 4;
-                            }
-                            _ => return Err(format!("bad escape at offset {}", self.pos)),
-                        }
-                        self.pos += 1;
-                    }
-                    _ => return Err("unterminated string".to_owned()),
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(
-                self.peek(),
-                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            ) {
-                self.pos += 1;
-            }
-            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                // lint: allow(no-panic) — the scanned range is ASCII by construction
-                .expect("number token is ASCII");
-            // Validate the token parses as a number at all.
-            raw.parse::<f64>()
-                .map_err(|e| format!("bad number '{raw}': {e}"))?;
-            Ok(Value::Number(raw.to_owned()))
         }
     }
 }

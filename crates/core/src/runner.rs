@@ -29,7 +29,7 @@ use crate::severity::SeverityWeights;
 use crate::watchdog::Watchdog;
 use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
 use margins_sim::{ChipSpec, CoreId, CounterFile, OutputDigest, PmdId, System, SystemConfig};
-use margins_trace::{EventBuffer, Observer, Sink, StreamFinalizer, TraceEvent};
+use margins_trace::{EventBuffer, MetricsRegistry, Observer, Sink, StreamFinalizer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -113,6 +113,34 @@ impl Campaign {
     #[must_use]
     pub fn execute_traced(&self, threads: usize, sinks: &mut [&mut dyn Sink]) -> CampaignOutcome {
         self.execute_with(threads, sinks, None, None)
+    }
+
+    /// Executes the campaign like [`Campaign::execute_with`] while also
+    /// accumulating the record stream into a [`MetricsRegistry`], returned
+    /// alongside the outcome.
+    ///
+    /// The registry rides the same finalized stream as every other sink,
+    /// so its snapshot is a pure function of the byte-deterministic
+    /// records: serial and sharded executions of the same campaign return
+    /// identical registries.
+    #[must_use]
+    pub fn execute_metered(
+        &self,
+        threads: usize,
+        sinks: &mut [&mut dyn Sink],
+        cache: Option<&mut CampaignCache>,
+        priors: Option<&SearchPriors>,
+    ) -> (CampaignOutcome, MetricsRegistry) {
+        let mut metrics = MetricsRegistry::new();
+        let outcome = {
+            let mut all: Vec<&mut dyn Sink> = Vec::with_capacity(sinks.len() + 1);
+            for sink in sinks.iter_mut() {
+                all.push(&mut **sink);
+            }
+            all.push(&mut metrics);
+            self.execute_with(threads, &mut all, cache, priors)
+        };
+        (outcome, metrics)
     }
 
     /// Executes the campaign with an optional persistent result `cache`
@@ -1216,6 +1244,55 @@ mod tests {
             assert_eq!(*effects, run.effects.to_string());
             assert!((severity - weights.run_severity(run.effects)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn metered_execution_matches_serial_and_sharded() {
+        let cfg = CampaignConfig::builder()
+            .benchmarks(["bwaves", "namd"])
+            .cores([CoreId::new(0), CoreId::new(4)])
+            .iterations(1)
+            .start_voltage(Millivolts::new(915))
+            .floor_voltage(Millivolts::new(895))
+            .seed(7)
+            .build()
+            .unwrap();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+
+        let (serial, serial_metrics) = campaign.execute_metered(1, &mut [], None, None);
+        let (sharded, sharded_metrics) = campaign.execute_metered(4, &mut [], None, None);
+
+        // Metering must not perturb campaign results.
+        let plain = campaign.execute();
+        assert_eq!(serial.runs.len(), plain.runs.len());
+        assert_eq!(sharded.runs.len(), plain.runs.len());
+
+        // The registry rides the deterministic stream, so serial and
+        // sharded snapshots agree byte for byte.
+        let exposition = serial_metrics.to_openmetrics();
+        assert_eq!(exposition, sharded_metrics.to_openmetrics());
+        assert!(
+            exposition.contains("voltmargin_campaigns_total 1"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("voltmargin_sweeps_total 4"),
+            "{exposition}"
+        );
+        assert!(exposition.ends_with("# EOF\n"), "{exposition}");
+
+        // The registry sees the same stream other sinks do.
+        let mut memory = margins_trace::MemorySink::new();
+        let (_, metered) = {
+            let mut sinks: [&mut dyn margins_trace::Sink; 1] = [&mut memory];
+            campaign.execute_metered(1, &mut sinks, None, None)
+        };
+        let mut replayed = margins_trace::MetricsRegistry::new();
+        for record in &memory.records {
+            margins_trace::Sink::emit(&mut replayed, record);
+        }
+        margins_trace::Sink::finish(&mut replayed);
+        assert_eq!(metered.to_openmetrics(), replayed.to_openmetrics());
     }
 
     #[test]

@@ -122,7 +122,8 @@ pub struct Waiver {
 pub struct FileScope {
     /// File lives in test/bench/example context: code rules don't apply.
     pub is_test_context: bool,
-    /// File belongs to a deterministic-path crate (sim/core/energy/predict/trace).
+    /// File belongs to a deterministic-path crate
+    /// (sim/core/energy/predict/trace/scope).
     pub is_deterministic_path: bool,
 }
 
@@ -136,10 +137,11 @@ pub struct FileOutcome {
 }
 
 /// The crates whose results must be bit-reproducible: the simulator, the
-/// characterization framework, the predictor, the energy models, and the
+/// characterization framework, the predictor, the energy models, the
 /// trace subsystem (its serialized streams are part of the reproducible
-/// surface).
-pub const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "core", "energy", "predict", "trace"];
+/// surface), and the analytics crate (its reports and diffs gate CI on
+/// byte equality).
+pub const DETERMINISTIC_CRATES: [&str; 6] = ["sim", "core", "energy", "predict", "trace", "scope"];
 
 /// Classifies `rel` (workspace-relative, `/`-separated) into a scope.
 ///

@@ -1,0 +1,222 @@
+//! `trace-scope`: analytics, metrics exposition and regression diffing
+//! over `margins-trace` JSONL streams.
+//!
+//! ```text
+//! trace-scope summary <file.jsonl | dir>... [--format md|json|csv] [--out FILE]
+//! trace-scope diff <A.jsonl> <B.jsonl> [--out FILE]
+//! trace-scope metrics <file.jsonl | dir>... [--out FILE]
+//! ```
+//!
+//! * `summary` folds every stream into one report (markdown by default).
+//! * `diff` classifies how two streams of the same intended experiment
+//!   diverge and exits with the class code: 0 identical, 4 schedule-only,
+//!   5 metrics drift, 6 outcome divergence (1 = read error, 2 = usage).
+//! * `metrics` replays the streams through the [`MetricsRegistry`] and
+//!   prints the OpenMetrics text exposition.
+//!
+//! All outputs are byte-deterministic functions of the input records.
+
+use margins_scope::{diff, markdown, summarize_records, DiffReport};
+use margins_trace::{collect_jsonl, read_jsonl, MetricsRegistry, Sink, TraceRecord};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace-scope <command> [args]
+
+commands:
+  summary <file.jsonl | dir>... [--format md|json|csv] [--out FILE]
+      fold the streams into one deterministic report
+  diff <A.jsonl> <B.jsonl> [--out FILE]
+      classify how two streams diverge; exit 0 identical, 4 schedule-only,
+      5 metrics drift, 6 outcome divergence
+  metrics <file.jsonl | dir>... [--out FILE]
+      replay the streams through the metrics registry and print the
+      OpenMetrics text exposition";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "summary" => cmd_summary(rest),
+        "diff" => cmd_diff(rest),
+        "metrics" => cmd_metrics(rest),
+        other => {
+            eprintln!("trace-scope: unknown command '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Positional arguments plus the `--format`/`--out` options.
+struct Options {
+    paths: Vec<String>,
+    format: String,
+    out: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        paths: Vec::new(),
+        format: "md".to_owned(),
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format requires a value")?;
+                if !matches!(value.as_str(), "md" | "json" | "csv") {
+                    return Err(format!(
+                        "unknown format '{value}' (expected md, json or csv)"
+                    ));
+                }
+                opts.format = value.clone();
+            }
+            "--out" => {
+                let value = it.next().ok_or("--out requires a value")?;
+                opts.out = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => opts.paths.push(path.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Reads every record from the expanded path list, in file order.
+fn read_streams(paths: &[String]) -> Result<Vec<TraceRecord>, String> {
+    let files = collect_jsonl(paths).map_err(|e| e.to_string())?;
+    if files.is_empty() {
+        return Err("no .jsonl files found under the given paths".to_owned());
+    }
+    let mut records = Vec::new();
+    for path in &files {
+        records.extend(read_one(path)?);
+    }
+    Ok(records)
+}
+
+fn read_one(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes the report to `--out` or stdout.
+fn deliver(report: &str, out: Option<&Path>) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, report).map_err(|e| format!("{}: {e}", path.display())),
+        None => {
+            print!("{report}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_summary(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if !o.paths.is_empty() => o,
+        Ok(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match read_streams(&opts.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match summarize_records(&records) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match opts.format.as_str() {
+        "json" => margins_scope::json(&summary),
+        "csv" => margins_scope::csv(&summary),
+        _ => markdown(&summary),
+    };
+    match deliver(&report, opts.out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if o.paths.len() == 2 => o,
+        Ok(_) => {
+            eprintln!("trace-scope: diff takes exactly two paths\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (a, b) = match (
+        read_one(Path::new(&opts.paths[0])),
+        read_one(Path::new(&opts.paths[1])),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: DiffReport = diff(&a, &b);
+    let rendered = report.render();
+    if let Err(e) = deliver(&rendered, opts.out.as_deref()) {
+        eprintln!("trace-scope: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Exit codes 0/4/5/6 fit in a u8 on every supported platform.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    ExitCode::from(report.class.exit_code() as u8)
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if !o.paths.is_empty() => o,
+        Ok(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match read_streams(&opts.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut registry = MetricsRegistry::default();
+    for record in &records {
+        registry.emit(record);
+    }
+    registry.finish();
+    match deliver(&registry.to_openmetrics(), opts.out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Campaign analytics over `margins-trace` streams.
+//!
+//! The telemetry stack records *what happened*; this crate answers *what it
+//! means*. It consumes the byte-deterministic JSONL streams the framework
+//! emits and produces three artifacts, all themselves byte-deterministic:
+//!
+//! * [`summary`] — the span tree folded into a typed [`StreamSummary`]:
+//!   per-sweep probe counts, outcome and severity tallies, recovery-storm
+//!   detection, campaign-cache hit rates, energy totals and
+//!   search-strategy savings.
+//! * [`render`] — the summary rendered as markdown, JSON or CSV. Reports
+//!   depend only on the record sequence, never on scheduling, paths or
+//!   wall-clock state, so two renders of the same stream are identical
+//!   byte for byte.
+//! * [`diff`] — a semantic differ for two streams of the *same intended
+//!   experiment*: it classifies the divergence (identical / schedule-only
+//!   reordering / metrics drift / outcome divergence) and pinpoints the
+//!   first diverging record with its enclosing span path, with a distinct
+//!   exit code per class for CI gating.
+//!
+//! The `trace-scope` binary exposes all three over the command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod render;
+pub mod summary;
+
+pub use diff::{diff, DiffReport, Divergence, DivergenceClass};
+pub use render::{csv, json, markdown};
+pub use summary::{
+    summarize, summarize_records, summarize_str, CampaignSummary, DecisionSummary, RecoveryStorm,
+    ScopeError, SearchTotals, StreamSummary, SweepSummary, RECOVERY_STORM_THRESHOLD,
+};

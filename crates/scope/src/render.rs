@@ -1,0 +1,531 @@
+//! Deterministic report rendering: markdown, JSON and CSV.
+//!
+//! Every renderer is a pure function of the [`StreamSummary`]; floats are
+//! formatted with [`json::fmt_f64`] (shortest round-trip) and JSON objects
+//! carry sorted keys, so the same summary always renders to the same
+//! bytes.
+
+use crate::summary::{CampaignSummary, DecisionSummary, StreamSummary, SweepSummary};
+use margins_trace::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a summary as a markdown report.
+#[must_use]
+pub fn markdown(summary: &StreamSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# trace-scope summary");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{} records, {} campaign(s), {} standalone decision(s).",
+        summary.records,
+        summary.campaigns.len(),
+        summary.standalone_decisions.len()
+    );
+    for campaign in &summary.campaigns {
+        markdown_campaign(&mut out, campaign);
+    }
+    if !summary.standalone_decisions.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Standalone governor decisions");
+        let _ = writeln!(out);
+        markdown_decisions(&mut out, &summary.standalone_decisions);
+    }
+    out
+}
+
+fn markdown_campaign(out: &mut String, c: &CampaignSummary) {
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Campaign {}", c.label());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "- grid: {} benchmark(s) × {} core(s) × {} step(s) × {} iteration(s), {} shard(s), seed {}",
+        c.benchmarks, c.cores, c.steps, c.iterations, c.shards, c.seed
+    );
+    let _ = writeln!(
+        out,
+        "- runs: {} ({} declared), {} abnormal, {} golden capture(s)",
+        c.runs, c.declared_runs, c.abnormal_runs, c.goldens
+    );
+    let _ = writeln!(
+        out,
+        "- outcomes: {}",
+        if c.outcomes.is_empty() {
+            "none".to_owned()
+        } else {
+            c.outcomes
+                .iter()
+                .map(|(effects, count)| format!("{effects}={count}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    let _ = writeln!(
+        out,
+        "- severity: sum {}, max {}",
+        json::fmt_f64(c.severity_sum),
+        json::fmt_f64(c.severity_max)
+    );
+    let _ = writeln!(
+        out,
+        "- energy: {} J over {} s modelled runtime ({} s campaign clock)",
+        json::fmt_f64(c.energy_j),
+        json::fmt_f64(c.runtime_s),
+        json::fmt_f64(c.modelled_time_s)
+    );
+    let _ = writeln!(
+        out,
+        "- recoveries: {} power cycle(s) ({} declared)",
+        c.power_cycles, c.declared_power_cycles
+    );
+    match c.cache_hit_rate() {
+        Some(rate) => {
+            let _ = writeln!(
+                out,
+                "- cache: {}/{} hit(s) (rate {})",
+                c.cache_hits,
+                c.cache_lookups,
+                json::fmt_f64(rate)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "- cache: no lookups");
+        }
+    }
+    if let Some(search) = c.search {
+        let _ = writeln!(
+            out,
+            "- search: {} probed of {} grid step(s), {} cache hit(s), savings {}",
+            search.probed_steps,
+            search.grid_steps,
+            search.cache_hits,
+            json::fmt_f64(search.savings())
+        );
+    }
+    if c.storms.is_empty() {
+        let _ = writeln!(out, "- recovery storms: none");
+    } else {
+        let _ = writeln!(
+            out,
+            "- recovery storms: {}",
+            c.storms
+                .iter()
+                .map(|s| format!("{} ({} power cycles)", s.sweep, s.power_cycles))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| sweep | runs | abnormal | probes | recoveries | lowest mV | early stop | severity Σ | energy J |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for sweep in &c.sweeps {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            sweep.label(),
+            sweep.runs,
+            sweep.abnormal_runs,
+            sweep.machine_probes,
+            sweep.power_cycles,
+            sweep.lowest_mv.map_or("-".to_owned(), |mv| mv.to_string()),
+            sweep
+                .early_stop_mv
+                .map_or("-".to_owned(), |mv| mv.to_string()),
+            json::fmt_f64(sweep.severity_sum),
+            json::fmt_f64(sweep.energy_j)
+        );
+    }
+
+    if !c.decisions.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "### Governor decisions");
+        let _ = writeln!(out);
+        markdown_decisions(out, &c.decisions);
+    }
+}
+
+fn markdown_decisions(out: &mut String, decisions: &[DecisionSummary]) {
+    let _ = writeln!(
+        out,
+        "| voltage mV | guardband steps | rel. power | rel. performance | energy savings |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for d in decisions {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            d.voltage_mv,
+            d.guardband_steps,
+            json::fmt_f64(d.relative_power),
+            json::fmt_f64(d.relative_performance),
+            json::fmt_f64(d.energy_savings)
+        );
+    }
+}
+
+/// Renders a summary as a JSON document (sorted keys, one trailing
+/// newline).
+#[must_use]
+pub fn json(summary: &StreamSummary) -> String {
+    let mut root = BTreeMap::new();
+    root.insert("records".to_owned(), Value::from_u64(summary.records));
+    root.insert(
+        "campaigns".to_owned(),
+        Value::Array(summary.campaigns.iter().map(campaign_value).collect()),
+    );
+    root.insert(
+        "standalone_decisions".to_owned(),
+        Value::Array(
+            summary
+                .standalone_decisions
+                .iter()
+                .map(decision_value)
+                .collect(),
+        ),
+    );
+    let mut out = json::render(&Value::Object(root));
+    out.push('\n');
+    out
+}
+
+fn campaign_value(c: &CampaignSummary) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("chip".to_owned(), Value::from_str_val(&c.chip));
+    map.insert("rail".to_owned(), Value::from_str_val(&c.rail));
+    map.insert(
+        "benchmarks".to_owned(),
+        Value::from_u64(c.benchmarks.into()),
+    );
+    map.insert("cores".to_owned(), Value::from_u64(c.cores.into()));
+    map.insert("steps".to_owned(), Value::from_u64(c.steps.into()));
+    map.insert(
+        "iterations".to_owned(),
+        Value::from_u64(c.iterations.into()),
+    );
+    map.insert("shards".to_owned(), Value::from_u64(c.shards.into()));
+    map.insert("seed".to_owned(), Value::from_u64(c.seed));
+    map.insert("declared_runs".to_owned(), Value::from_u64(c.declared_runs));
+    map.insert(
+        "declared_power_cycles".to_owned(),
+        Value::from_u64(c.declared_power_cycles.into()),
+    );
+    map.insert("runs".to_owned(), Value::from_u64(c.runs));
+    map.insert("goldens".to_owned(), Value::from_u64(c.goldens));
+    map.insert(
+        "power_cycles".to_owned(),
+        Value::from_u64(c.power_cycles.into()),
+    );
+    map.insert(
+        "modelled_time_s".to_owned(),
+        Value::from_f64(c.modelled_time_s),
+    );
+    map.insert("energy_j".to_owned(), Value::from_f64(c.energy_j));
+    map.insert("runtime_s".to_owned(), Value::from_f64(c.runtime_s));
+    map.insert(
+        "outcomes".to_owned(),
+        Value::Object(
+            c.outcomes
+                .iter()
+                .map(|(effects, count)| (effects.clone(), Value::from_u64(*count)))
+                .collect(),
+        ),
+    );
+    map.insert("abnormal_runs".to_owned(), Value::from_u64(c.abnormal_runs));
+    map.insert("severity_sum".to_owned(), Value::from_f64(c.severity_sum));
+    map.insert("severity_max".to_owned(), Value::from_f64(c.severity_max));
+    map.insert("cache_lookups".to_owned(), Value::from_u64(c.cache_lookups));
+    map.insert("cache_hits".to_owned(), Value::from_u64(c.cache_hits));
+    map.insert(
+        "search".to_owned(),
+        c.search.map_or(Value::Null, |search| {
+            let mut s = BTreeMap::new();
+            s.insert(
+                "probed_steps".to_owned(),
+                Value::from_u64(search.probed_steps),
+            );
+            s.insert("grid_steps".to_owned(), Value::from_u64(search.grid_steps));
+            s.insert("cache_hits".to_owned(), Value::from_u64(search.cache_hits));
+            s.insert("savings".to_owned(), Value::from_f64(search.savings()));
+            Value::Object(s)
+        }),
+    );
+    map.insert(
+        "storms".to_owned(),
+        Value::Array(
+            c.storms
+                .iter()
+                .map(|storm| {
+                    let mut s = BTreeMap::new();
+                    s.insert("sweep".to_owned(), Value::from_str_val(&storm.sweep));
+                    s.insert(
+                        "power_cycles".to_owned(),
+                        Value::from_u64(storm.power_cycles.into()),
+                    );
+                    Value::Object(s)
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "decisions".to_owned(),
+        Value::Array(c.decisions.iter().map(decision_value).collect()),
+    );
+    map.insert(
+        "sweeps".to_owned(),
+        Value::Array(c.sweeps.iter().map(sweep_value).collect()),
+    );
+    Value::Object(map)
+}
+
+fn sweep_value(s: &SweepSummary) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("program".to_owned(), Value::from_str_val(&s.program));
+    map.insert("dataset".to_owned(), Value::from_str_val(&s.dataset));
+    map.insert("core".to_owned(), Value::from_u64(s.core.into()));
+    map.insert("shard".to_owned(), Value::from_u64(s.shard.into()));
+    map.insert(
+        "declared_runs".to_owned(),
+        Value::from_u64(s.declared_runs.into()),
+    );
+    map.insert("runs".to_owned(), Value::from_u64(s.runs));
+    map.insert("abnormal_runs".to_owned(), Value::from_u64(s.abnormal_runs));
+    map.insert("goldens".to_owned(), Value::from_u64(s.goldens));
+    map.insert(
+        "machine_probes".to_owned(),
+        Value::from_u64(s.machine_probes),
+    );
+    map.insert(
+        "power_cycles".to_owned(),
+        Value::from_u64(s.power_cycles.into()),
+    );
+    map.insert("cache_lookups".to_owned(), Value::from_u64(s.cache_lookups));
+    map.insert("cache_hits".to_owned(), Value::from_u64(s.cache_hits));
+    map.insert(
+        "outcomes".to_owned(),
+        Value::Object(
+            s.outcomes
+                .iter()
+                .map(|(effects, count)| (effects.clone(), Value::from_u64(*count)))
+                .collect(),
+        ),
+    );
+    map.insert("severity_sum".to_owned(), Value::from_f64(s.severity_sum));
+    map.insert("severity_max".to_owned(), Value::from_f64(s.severity_max));
+    map.insert("runtime_s".to_owned(), Value::from_f64(s.runtime_s));
+    map.insert("energy_j".to_owned(), Value::from_f64(s.energy_j));
+    map.insert(
+        "lowest_mv".to_owned(),
+        s.lowest_mv
+            .map_or(Value::Null, |mv| Value::from_u64(mv.into())),
+    );
+    map.insert(
+        "early_stop_mv".to_owned(),
+        s.early_stop_mv
+            .map_or(Value::Null, |mv| Value::from_u64(mv.into())),
+    );
+    map.insert(
+        "search".to_owned(),
+        s.search.map_or(Value::Null, |search| {
+            let mut m = BTreeMap::new();
+            m.insert(
+                "probed_steps".to_owned(),
+                Value::from_u64(search.probed_steps),
+            );
+            m.insert("grid_steps".to_owned(), Value::from_u64(search.grid_steps));
+            m.insert("cache_hits".to_owned(), Value::from_u64(search.cache_hits));
+            m.insert("savings".to_owned(), Value::from_f64(search.savings()));
+            Value::Object(m)
+        }),
+    );
+    map.insert("recovery_storm".to_owned(), Value::Bool(s.recovery_storm()));
+    Value::Object(map)
+}
+
+fn decision_value(d: &DecisionSummary) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert(
+        "voltage_mv".to_owned(),
+        Value::from_u64(d.voltage_mv.into()),
+    );
+    map.insert(
+        "guardband_steps".to_owned(),
+        Value::from_u64(d.guardband_steps.into()),
+    );
+    map.insert(
+        "relative_power".to_owned(),
+        Value::from_f64(d.relative_power),
+    );
+    map.insert(
+        "relative_performance".to_owned(),
+        Value::from_f64(d.relative_performance),
+    );
+    map.insert(
+        "energy_savings".to_owned(),
+        Value::from_f64(d.energy_savings),
+    );
+    Value::Object(map)
+}
+
+/// Renders a summary as CSV: one row per sweep, with the enclosing
+/// campaign's identity repeated in the leading columns. Governor
+/// decisions and standalone records carry no sweep identity and are
+/// deliberately omitted — use the JSON renderer for the full picture.
+#[must_use]
+pub fn csv(summary: &StreamSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chip,rail,seed,program,dataset,core,shard,runs,abnormal_runs,goldens,machine_probes,\
+         power_cycles,cache_lookups,cache_hits,severity_sum,severity_max,runtime_s,energy_j,\
+         lowest_mv,early_stop_mv,probed_steps,grid_steps,recovery_storm"
+    );
+    for c in &summary.campaigns {
+        for s in &c.sweeps {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                csv_field(&c.chip),
+                csv_field(&c.rail),
+                c.seed,
+                csv_field(&s.program),
+                csv_field(&s.dataset),
+                s.core,
+                s.shard,
+                s.runs,
+                s.abnormal_runs,
+                s.goldens,
+                s.machine_probes,
+                s.power_cycles,
+                s.cache_lookups,
+                s.cache_hits,
+                json::fmt_f64(s.severity_sum),
+                json::fmt_f64(s.severity_max),
+                json::fmt_f64(s.runtime_s),
+                json::fmt_f64(s.energy_j),
+                s.lowest_mv.map_or(String::new(), |mv| mv.to_string()),
+                s.early_stop_mv.map_or(String::new(), |mv| mv.to_string()),
+                s.search
+                    .map_or(String::new(), |t| t.probed_steps.to_string()),
+                s.search.map_or(String::new(), |t| t.grid_steps.to_string()),
+                s.recovery_storm()
+            );
+        }
+    }
+    out
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize_records;
+    use margins_trace::{StreamFinalizer, TraceEvent};
+
+    fn sample() -> StreamSummary {
+        let mut fin = StreamFinalizer::new();
+        let records: Vec<_> = vec![
+            TraceEvent::CampaignStarted {
+                chip: "TTT#0".into(),
+                rail: "pmd".into(),
+                benchmarks: 1,
+                cores: 1,
+                steps: 2,
+                iterations: 1,
+                shards: 1,
+                seed: 7,
+            },
+            TraceEvent::SweepStarted {
+                program: "namd".into(),
+                dataset: "ref".into(),
+                core: 4,
+                shard: 0,
+            },
+            TraceEvent::RunCompleted {
+                program: "namd".into(),
+                dataset: "ref".into(),
+                core: 4,
+                mv: 915,
+                iteration: 0,
+                effects: "NO".into(),
+                severity: 0.0,
+                runtime_s: 0.5,
+                energy_j: 1.25,
+                corrected_errors: 0,
+                uncorrected_errors: 0,
+            },
+            TraceEvent::SweepFinished {
+                program: "namd".into(),
+                dataset: "ref".into(),
+                core: 4,
+                runs: 1,
+            },
+            TraceEvent::CampaignFinished {
+                runs: 1,
+                power_cycles: 0,
+            },
+        ]
+        .into_iter()
+        .map(|e| fin.seal(e))
+        .collect();
+        summarize_records(&records).expect("valid stream")
+    }
+
+    #[test]
+    fn markdown_is_deterministic_and_complete() {
+        let summary = sample();
+        let a = markdown(&summary);
+        let b = markdown(&summary);
+        assert_eq!(a, b);
+        assert!(a.contains("## Campaign TTT#0/pmd"), "{a}");
+        assert!(a.contains("| namd:ref@core4 | 1 | 0 |"), "{a}");
+        assert!(a.contains("- cache: no lookups"), "{a}");
+        assert!(a.contains("- recovery storms: none"), "{a}");
+    }
+
+    #[test]
+    fn json_report_parses_back_with_sorted_keys() {
+        let summary = sample();
+        let text = json(&summary);
+        assert!(text.ends_with('\n'));
+        let value = margins_trace::json::parse(text.trim_end()).expect("valid JSON");
+        let root = value.as_object().expect("object");
+        assert_eq!(root.get("records").and_then(Value::as_number), Some("5"));
+        let campaigns = match root.get("campaigns") {
+            Some(Value::Array(items)) => items,
+            other => panic!("campaigns should be an array, got {other:?}"),
+        };
+        let c = campaigns[0].as_object().expect("campaign object");
+        assert_eq!(c.get("chip").and_then(Value::as_str), Some("TTT#0"));
+        assert_eq!(c.get("energy_j").and_then(Value::as_number), Some("1.25"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_sweep_and_quotes_delimiters() {
+        let text = csv(&sample());
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("chip,rail,seed,program"));
+        assert!(
+            lines[1].starts_with("TTT#0,pmd,7,namd,ref,4,0,1,0,"),
+            "{}",
+            lines[1]
+        );
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

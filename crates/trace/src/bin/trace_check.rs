@@ -1,40 +1,66 @@
 //! `trace-check`: validates emitted JSONL trace streams.
 //!
 //! ```text
-//! trace-check <file.jsonl>...
+//! trace-check <file.jsonl | dir>...
 //! ```
 //!
-//! For each file, asserts the stream contract (one parseable object per
-//! line, dense sequence numbers, monotonically non-decreasing modelled
-//! time, balanced span nesting) and prints summary statistics. Exits
-//! non-zero on the first invalid file.
+//! Directory arguments are walked recursively for `*.jsonl` files (in
+//! sorted order). For each file, asserts the stream contract (one
+//! parseable object per line, dense sequence numbers, monotonically
+//! non-decreasing modelled time, balanced span nesting) and prints a
+//! per-file pass/fail line plus a final summary. All files are checked
+//! even after a failure; the exit code is non-zero if any failed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: trace-check <file.jsonl>...");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace-check <file.jsonl | dir>...");
         return ExitCode::from(2);
     }
-    for path in &paths {
+    let files = match margins_trace::collect_jsonl(&args) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("trace-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("trace-check: no .jsonl files found under the given paths");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for path in &files {
+        let shown = path.display();
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("{path}: {e}");
-                return ExitCode::FAILURE;
+                println!("FAIL {shown}: {e}");
+                failed += 1;
+                continue;
             }
         };
         match margins_trace::validate_jsonl(&text) {
             Ok(stats) => println!(
-                "{path}: ok ({} records, {} campaigns, {} sweeps, {} runs, {} power cycles)",
+                "ok   {shown} ({} records, {} campaigns, {} sweeps, {} runs, {} power cycles)",
                 stats.records, stats.campaigns, stats.sweeps, stats.runs, stats.power_cycles
             ),
             Err(e) => {
-                eprintln!("{path}: INVALID: {e}");
-                return ExitCode::FAILURE;
+                println!("FAIL {shown}: {e}");
+                failed += 1;
             }
         }
     }
-    ExitCode::SUCCESS
+    println!(
+        "trace-check: {} passed, {} failed ({} files)",
+        files.len() - failed,
+        failed,
+        files.len()
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -10,11 +10,12 @@
 //! floats) so the crate stays a leaf of the workspace graph and the JSONL
 //! schema is self-describing.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// One telemetry event, before sequence/clock assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "event")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A campaign began (the initialization phase completed).
     CampaignStarted {
@@ -261,35 +262,275 @@ impl TraceEvent {
             _ => 0.0,
         }
     }
+
+    /// Encodes the event's payload fields (the JSON object minus the
+    /// `event` tag and envelope). The inverse lives in [`crate::reader`];
+    /// a round-trip test there keeps the two in sync.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a float field is non-finite (finalized events never
+    /// carry one).
+    fn encode_payload(&self, map: &mut BTreeMap<String, Value>) -> Result<(), EncodeError> {
+        match self {
+            TraceEvent::CampaignStarted {
+                chip,
+                rail,
+                benchmarks,
+                cores,
+                steps,
+                iterations,
+                shards,
+                seed,
+            } => {
+                put_str(map, "chip", chip);
+                put_str(map, "rail", rail);
+                put_u64(map, "benchmarks", u64::from(*benchmarks));
+                put_u64(map, "cores", u64::from(*cores));
+                put_u64(map, "steps", u64::from(*steps));
+                put_u64(map, "iterations", u64::from(*iterations));
+                put_u64(map, "shards", u64::from(*shards));
+                put_u64(map, "seed", *seed);
+            }
+            TraceEvent::ShardScheduled { shard, items } => {
+                put_u64(map, "shard", u64::from(*shard));
+                put_u64(map, "items", u64::from(*items));
+            }
+            TraceEvent::SweepStarted {
+                program,
+                dataset,
+                core,
+                shard,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_u64(map, "shard", u64::from(*shard));
+            }
+            TraceEvent::GoldenCaptured {
+                program,
+                dataset,
+                core,
+                digest,
+                runtime_s,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_str(map, "digest", digest);
+                put_f64(map, "runtime_s", *runtime_s)?;
+            }
+            TraceEvent::VoltageStepped { rail, mv, step } => {
+                put_str(map, "rail", rail);
+                put_u64(map, "mv", u64::from(*mv));
+                put_u64(map, "step", u64::from(*step));
+            }
+            TraceEvent::RailSet { rail, mv } => {
+                put_str(map, "rail", rail);
+                put_u64(map, "mv", u64::from(*mv));
+            }
+            TraceEvent::WatchdogPowerCycle { recovery } => {
+                put_u64(map, "recovery", u64::from(*recovery));
+            }
+            TraceEvent::CacheErrorReported {
+                level,
+                instance,
+                corrected,
+            } => {
+                put_str(map, "level", level);
+                put_u64(map, "instance", u64::from(*instance));
+                map.insert("corrected".to_owned(), Value::Bool(*corrected));
+            }
+            TraceEvent::RunCompleted {
+                program,
+                dataset,
+                core,
+                mv,
+                iteration,
+                effects,
+                severity,
+                runtime_s,
+                energy_j,
+                corrected_errors,
+                uncorrected_errors,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_u64(map, "mv", u64::from(*mv));
+                put_u64(map, "iteration", u64::from(*iteration));
+                put_str(map, "effects", effects);
+                put_f64(map, "severity", *severity)?;
+                put_f64(map, "runtime_s", *runtime_s)?;
+                put_f64(map, "energy_j", *energy_j)?;
+                put_u64(map, "corrected_errors", *corrected_errors);
+                put_u64(map, "uncorrected_errors", *uncorrected_errors);
+            }
+            TraceEvent::SearchStep {
+                program,
+                core,
+                strategy,
+                phase,
+                step,
+                mv,
+            } => {
+                put_str(map, "program", program);
+                put_u64(map, "core", u64::from(*core));
+                put_str(map, "strategy", strategy);
+                put_str(map, "phase", phase);
+                put_u64(map, "step", u64::from(*step));
+                put_u64(map, "mv", u64::from(*mv));
+            }
+            TraceEvent::CacheLookup {
+                program,
+                dataset,
+                core,
+                probe,
+                mv,
+                hit,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_str(map, "probe", probe);
+                put_u64(map, "mv", u64::from(*mv));
+                map.insert("hit".to_owned(), Value::Bool(*hit));
+            }
+            TraceEvent::SearchConcluded {
+                program,
+                core,
+                strategy,
+                probed_steps,
+                grid_steps,
+                cache_hits,
+            } => {
+                put_str(map, "program", program);
+                put_u64(map, "core", u64::from(*core));
+                put_str(map, "strategy", strategy);
+                put_u64(map, "probed_steps", u64::from(*probed_steps));
+                put_u64(map, "grid_steps", u64::from(*grid_steps));
+                put_u64(map, "cache_hits", u64::from(*cache_hits));
+            }
+            TraceEvent::EarlyStop {
+                program,
+                core,
+                mv,
+                consecutive_all_sc,
+            } => {
+                put_str(map, "program", program);
+                put_u64(map, "core", u64::from(*core));
+                put_u64(map, "mv", u64::from(*mv));
+                put_u64(map, "consecutive_all_sc", u64::from(*consecutive_all_sc));
+            }
+            TraceEvent::SweepFinished {
+                program,
+                dataset,
+                core,
+                runs,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_u64(map, "runs", u64::from(*runs));
+            }
+            TraceEvent::CampaignFinished { runs, power_cycles } => {
+                put_u64(map, "runs", *runs);
+                put_u64(map, "power_cycles", u64::from(*power_cycles));
+            }
+            TraceEvent::VoltageDecision {
+                voltage_mv,
+                guardband_steps,
+                relative_power,
+                relative_performance,
+                energy_savings,
+            } => {
+                put_u64(map, "voltage_mv", u64::from(*voltage_mv));
+                put_u64(map, "guardband_steps", u64::from(*guardband_steps));
+                put_f64(map, "relative_power", *relative_power)?;
+                put_f64(map, "relative_performance", *relative_performance)?;
+                put_f64(map, "energy_savings", *energy_savings)?;
+            }
+        }
+        Ok(())
+    }
 }
+
+fn put_str(map: &mut BTreeMap<String, Value>, name: &str, value: &str) {
+    map.insert(name.to_owned(), Value::String(value.to_owned()));
+}
+
+fn put_u64(map: &mut BTreeMap<String, Value>, name: &str, value: u64) {
+    map.insert(name.to_owned(), Value::from_u64(value));
+}
+
+fn put_f64(
+    map: &mut BTreeMap<String, Value>,
+    name: &'static str,
+    value: f64,
+) -> Result<(), EncodeError> {
+    if !value.is_finite() {
+        return Err(EncodeError { field: name });
+    }
+    map.insert(name.to_owned(), Value::from_f64(value));
+    Ok(())
+}
+
+/// A record could not be serialized: a float field was non-finite (JSON
+/// has no representation for NaN/∞, and finalized streams never carry
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The offending field.
+    pub field: &'static str,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field '{}' is not a finite number", self.field)
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// A finalized event: sequence number and modelled-clock stamp assigned in
 /// the canonical (scheduling-independent) stream order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// 0-based position in the stream.
     pub seq: u64,
     /// Modelled campaign time at (the end of) the event, seconds.
     pub t_model_s: f64,
     /// The event itself.
-    #[serde(flatten)]
     pub event: TraceEvent,
 }
 
 impl TraceRecord {
+    /// Encodes the record as a single flat JSON object: the `event` tag,
+    /// the payload fields, and the `seq`/`t_model_s` envelope, all in one
+    /// sorted-key map.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a float field is non-finite (finalized records never
+    /// carry one).
+    pub fn to_value(&self) -> Result<Value, EncodeError> {
+        let mut map = BTreeMap::new();
+        map.insert("event".to_owned(), Value::from_str_val(self.event.name()));
+        self.event.encode_payload(&mut map)?;
+        put_u64(&mut map, "seq", self.seq);
+        put_f64(&mut map, "t_model_s", self.t_model_s)?;
+        Ok(Value::Object(map))
+    }
+
     /// Renders the record as one byte-deterministic JSON line (keys sorted,
     /// no trailing newline).
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for unserializable values
-    /// (only possible for non-finite floats, which finalized records never
-    /// carry).
-    pub fn to_json_line(&self) -> Result<String, serde_json::Error> {
-        // serde_json's default Map is a BTreeMap, so Value round-tripping
-        // sorts the keys; struct-order serialization would not.
-        let value = serde_json::to_value(self)?;
-        serde_json::to_string(&value)
+    /// Fails for unserializable values (only possible for non-finite
+    /// floats, which finalized records never carry).
+    pub fn to_json_line(&self) -> Result<String, EncodeError> {
+        Ok(json::render(&self.to_value()?))
     }
 }
 
@@ -335,8 +576,20 @@ mod tests {
             },
         };
         let line = rec.to_json_line().expect("serializable");
-        let back: TraceRecord = serde_json::from_str(&line).expect("parseable");
-        assert_eq!(back, rec);
+        let back = crate::reader::read_jsonl(&line).expect("parseable");
+        assert_eq!(back, vec![rec]);
+    }
+
+    #[test]
+    fn non_finite_floats_are_encode_errors() {
+        let rec = TraceRecord {
+            seq: 0,
+            t_model_s: f64::NAN,
+            event: TraceEvent::WatchdogPowerCycle { recovery: 1 },
+        };
+        let err = rec.to_json_line().expect_err("NaN clock");
+        assert_eq!(err.field, "t_model_s");
+        assert!(err.to_string().contains("t_model_s"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! A minimal, fully deterministic JSON layer shared by the telemetry
+//! stack.
+//!
+//! The characterization stack controls both ends of every JSON byte it
+//! produces — the trace writer, the campaign cache, the analytics
+//! reports — so it carries its own small value model instead of a
+//! serialization framework:
+//!
+//! * [`Value`] keeps numbers as their **raw tokens**, so 64-bit integers
+//!   (campaign seeds, error counters) never pass through `f64` and lose
+//!   precision, and floats round-trip byte-exactly.
+//! * [`parse`] is a strict recursive-descent reader with typed message
+//!   errors (never a panic on untrusted input).
+//! * [`render`] writes compact JSON with object keys in sorted order (a
+//!   [`BTreeMap`] by construction), `\n`-free, locale-independent —
+//!   byte-identical output for equal values on every platform.
+//!
+//! The trace event codec ([`crate::event`], [`crate::reader`]) and the
+//! campaign cache build on this module.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token.
+    Number(String),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Duplicate keys keep the last occurrence.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// A number value from an unsigned integer.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Value {
+        Value::Number(v.to_string())
+    }
+
+    /// A number value from a float (its shortest round-trip form).
+    /// Non-finite floats have no JSON representation and become `null`,
+    /// which the schema-checked readers then reject — corruption surfaces
+    /// at the read boundary instead of silently becoming a string.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Number(fmt_f64(v))
+        } else {
+            Value::Null
+        }
+    }
+
+    /// A string value.
+    #[must_use]
+    pub fn from_str_val(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+
+    /// The object map, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The raw number token, if this is a number.
+    #[must_use]
+    pub fn as_number(&self) -> Option<&str> {
+        match self {
+            Value::Number(raw) => Some(raw),
+            _ => None,
+        }
+    }
+}
+
+/// Shortest round-trip representation of a finite `f64` (`{:?}` always
+/// prints a form `f64::from_str` maps back to the same bits).
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // Non-finite values never occur in modelled runtimes/energies;
+        // serialize defensively as null so the reader rejects the record
+        // instead of producing invalid JSON.
+        "null".to_owned()
+    }
+}
+
+/// Appends `value` to `out` as a JSON string literal (quotes included).
+pub fn escape_into(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a value as compact JSON (sorted object keys, no whitespace).
+#[must_use]
+pub fn render(value: &Value) -> String {
+    let mut out = String::new();
+    render_into(&mut out, value);
+    out
+}
+
+/// Appends the compact rendering of `value` to `out`.
+pub fn render_into(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(raw) => out.push_str(raw),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, key);
+                out.push(':');
+                render_into(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parses exactly one JSON value spanning the whole input.
+///
+/// Numbers keep their raw token so 64-bit integers never pass through
+/// `f64` and lose precision. Errors are plain messages; the caller
+/// attaches the line number.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn require(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected byte 0x{c:02x} at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.require(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.require(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.require(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.require(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            // Surrogates never appear in this module's
+                            // own output; reject rather than combine.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            // lint: allow(no-panic) — the scanned range is ASCII by construction
+            .expect("number token is ASCII");
+        // Validate the token parses as a number at all.
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number '{raw}': {e}"))?;
+        Ok(Value::Number(raw.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_value_kind() {
+        let text =
+            r#"{"a":[1,2.5,-3],"b":"x\"y","c":true,"d":null,"e":{"n":18446744073709551615}}"#;
+        let value = parse(text).expect("valid JSON");
+        let map = value.as_object().expect("object");
+        assert_eq!(
+            map.get("a"),
+            Some(&Value::Array(vec![
+                Value::Number("1".into()),
+                Value::Number("2.5".into()),
+                Value::Number("-3".into()),
+            ]))
+        );
+        assert_eq!(map.get("b").and_then(Value::as_str), Some("x\"y"));
+        assert_eq!(map.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(map.get("d"), Some(&Value::Null));
+        // The 64-bit token survives verbatim — no f64 round trip.
+        let inner = map.get("e").and_then(Value::as_object).expect("object");
+        assert_eq!(
+            inner.get("n").and_then(Value::as_number),
+            Some("18446744073709551615")
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trips_byte_exactly() {
+        let text = r#"{"empty":{},"list":[],"nested":{"f":0.001,"neg":-7,"s":"a\\b\nc"}}"#;
+        let value = parse(text).expect("valid");
+        assert_eq!(render(&value), text);
+    }
+
+    #[test]
+    fn object_keys_render_sorted() {
+        let mut map = BTreeMap::new();
+        map.insert("zeta".to_owned(), Value::from_u64(1));
+        map.insert("alpha".to_owned(), Value::from_u64(2));
+        assert_eq!(render(&Value::Object(map)), r#"{"alpha":2,"zeta":1}"#);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_messages() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\":}", "1 2", "nul", "+5"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn floats_render_shortest_and_nonfinite_becomes_null() {
+        assert_eq!(fmt_f64(0.125), "0.125");
+        assert_eq!(fmt_f64(1e-4), "0.0001");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(Value::from_f64(f64::INFINITY), Value::Null);
+        assert_eq!(Value::from_f64(2.5), Value::Number("2.5".into()));
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\u{1}\tb");
+        assert_eq!(out, "\"a\\u0001\\tb\"");
+        let back = parse(&out).expect("parses");
+        assert_eq!(back, Value::String("a\u{1}\tb".into()));
+    }
+}

@@ -40,13 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod files;
+pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod reader;
 pub mod sink;
+pub mod span;
 pub mod validate;
 
-pub use event::{TraceEvent, TraceRecord};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use event::{EncodeError, TraceEvent, TraceRecord};
+pub use files::collect_jsonl;
+pub use metrics::{Histogram, MergeError, MetricsRegistry};
 pub use observer::{EventBuffer, NullObserver, Observer, StreamFinalizer};
+pub use reader::{read_jsonl, ParseFailure};
 pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
-pub use validate::{validate_jsonl, StreamError, StreamStats};
+pub use span::{reconstruct, span_path_at, CampaignSpan, SpanError, SpanTree, SweepSpan};
+pub use validate::{validate_jsonl, validate_records, StreamError, StreamStats};

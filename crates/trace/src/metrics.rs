@@ -10,6 +10,7 @@
 use crate::event::{TraceEvent, TraceRecord};
 use crate::sink::Sink;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
@@ -66,7 +67,70 @@ impl Histogram {
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
     }
+
+    /// Folds another histogram into this one (bucket-wise saturating
+    /// addition).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bucket layouts differ: merging incompatible layouts
+    /// would silently misplace observations.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        let same_bounds = self.bounds.len() == other.bounds.len()
+            && self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                // Exact layout identity, not numeric tolerance: bucket
+                // edges are compile-time constants, never computed.
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same_bounds {
+            return Err(MergeError::BucketLayout {
+                left: self.bounds.clone(),
+                right: other.bounds.clone(),
+            });
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.sum += other.sum;
+        Ok(())
+    }
 }
+
+/// Why two registries (or histograms) could not be reconciled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Two histograms under the same name had different bucket layouts.
+    BucketLayout {
+        /// Bucket edges on the receiving side.
+        left: Vec<f64>,
+        /// Bucket edges on the incoming side.
+        right: Vec<f64>,
+    },
+    /// The offending histogram, when merging whole registries.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// The underlying layout mismatch.
+        cause: Box<MergeError>,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::BucketLayout { left, right } => {
+                write!(f, "bucket layouts differ: {left:?} vs {right:?}")
+            }
+            MergeError::Histogram { name, cause } => {
+                write!(f, "histogram '{name}': {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Ordered counters and histograms derived from the event stream.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -108,8 +172,46 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
-    fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    /// Adds `by` to a named counter, saturating at `u64::MAX` — a
+    /// saturated counter stays comparable instead of wrapping to a small
+    /// value and masquerading as a quiet campaign.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        let slot = self.counters.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(by);
+    }
+
+    /// Folds another registry into this one: counters add (saturating),
+    /// same-name histograms merge bucket-wise, and both sides' pending
+    /// step-severity buffers are flushed first so nothing is lost.
+    ///
+    /// Merging the per-shard registries of a sharded campaign yields the
+    /// registry of the equivalent serial campaign, except `step_severity`:
+    /// its per-step means need all shards' runs, so it reconciles only
+    /// when each step's runs live on one shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a same-name histogram has a different bucket layout.
+    pub fn merge(&mut self, mut other: MetricsRegistry) -> Result<(), MergeError> {
+        self.flush_step();
+        other.flush_step();
+        for (name, value) in other.counters {
+            self.incr(&name, value);
+        }
+        for (name, histogram) in other.histograms {
+            match self.histograms.get_mut(&name) {
+                Some(mine) => mine
+                    .merge(&histogram)
+                    .map_err(|cause| MergeError::Histogram {
+                        name: name.clone(),
+                        cause: Box::new(cause),
+                    })?,
+                None => {
+                    self.histograms.insert(name, histogram);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
@@ -146,6 +248,58 @@ impl MetricsRegistry {
             );
         }
         out
+    }
+
+    /// Renders the registry in the OpenMetrics text format: one counter
+    /// family per counter (`_total`-suffixed samples), one histogram family
+    /// per histogram (cumulative `_bucket{le=...}` samples plus `_sum` and
+    /// `_count`), all `voltmargin_`-prefixed, unit-suffixed
+    /// (`_s` → `_seconds` with a `# UNIT` line), in name order, terminated
+    /// by `# EOF`. Depends only on the registry contents, so it is
+    /// byte-identical across reruns; any buffered step severities are
+    /// flushed into a snapshot first.
+    #[must_use]
+    pub fn to_openmetrics(&self) -> String {
+        let mut snapshot = self.clone();
+        snapshot.flush_step();
+        let mut out = String::new();
+        for (name, value) in &snapshot.counters {
+            let (family, unit) = openmetrics_family(name.strip_suffix("_total").unwrap_or(name));
+            let _ = writeln!(out, "# TYPE {family} counter");
+            if let Some(unit) = unit {
+                let _ = writeln!(out, "# UNIT {family} {unit}");
+            }
+            let _ = writeln!(out, "{family}_total {value}");
+        }
+        for (name, h) in &snapshot.histograms {
+            let (family, unit) = openmetrics_family(name);
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            if let Some(unit) = unit {
+                let _ = writeln!(out, "# UNIT {family} {unit}");
+            }
+            let mut cumulative = 0u64;
+            for (edge, count) in h.bounds().iter().zip(h.buckets()) {
+                cumulative = cumulative.saturating_add(*count);
+                let _ = writeln!(out, "{family}_bucket{{le=\"{edge}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{family}_sum {}", h.sum());
+            let _ = writeln!(out, "{family}_count {}", h.count());
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Maps an internal metric name to its `voltmargin_`-prefixed OpenMetrics
+/// family name plus the unit implied by its suffix.
+fn openmetrics_family(name: &str) -> (String, Option<&'static str>) {
+    match name.strip_suffix("_s") {
+        Some(stem) => (format!("voltmargin_{stem}_seconds"), Some("seconds")),
+        None => match name.strip_suffix("_j") {
+            Some(stem) => (format!("voltmargin_{stem}_joules"), Some("joules")),
+            None => (format!("voltmargin_{name}"), None),
+        },
     }
 }
 
@@ -328,5 +482,139 @@ mod tests {
         let b = m.clone().render();
         assert_eq!(a, b);
         assert!(a.contains("runs_total = 1"));
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_everything() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum().to_bits(), 0.0f64.to_bits());
+        assert_eq!(h.buckets(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn single_sample_lands_in_exactly_one_bucket() {
+        for (value, expected) in [(0.5, [1, 0, 0]), (2.0, [0, 1, 0]), (9.0, [0, 0, 1])] {
+            let mut h = Histogram::new(&[1.0, 2.0]);
+            h.observe(value);
+            assert_eq!(h.buckets(), &expected, "value {value}");
+            assert_eq!(h.count(), 1);
+            assert!((h.sum() - value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut m = MetricsRegistry::new();
+        m.incr("near_max", u64::MAX - 1);
+        m.incr("near_max", 5);
+        assert_eq!(m.counter("near_max"), u64::MAX);
+        m.incr("near_max", 1);
+        assert_eq!(m.counter("near_max"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_and_rejects_layout_mismatch() {
+        let mut a = Histogram::new(&[1.0]);
+        let mut b = Histogram::new(&[1.0]);
+        a.observe(0.5);
+        b.observe(0.5);
+        b.observe(3.0);
+        a.merge(&b).expect("same layout");
+        assert_eq!(a.buckets(), &[2, 1]);
+        assert!((a.sum() - 4.0).abs() < 1e-12);
+
+        let other = Histogram::new(&[2.0]);
+        let err = a.merge(&other).expect_err("layout mismatch");
+        assert!(matches!(err, MergeError::BucketLayout { .. }));
+    }
+
+    #[test]
+    fn per_shard_registries_merge_to_the_whole_stream_registry() {
+        // One registry per "shard", fed disjoint slices of the stream, must
+        // reconcile with a single registry fed everything — counters and
+        // per-run histograms exactly (step_severity excluded: its per-step
+        // means are defined over the whole step, not per shard).
+        let shard_a = vec![
+            run("NO", 0.0),
+            run("SDC+CE", 5.0),
+            TraceEvent::WatchdogPowerCycle { recovery: 1 },
+        ];
+        let shard_b = vec![
+            run("SC", 16.0),
+            TraceEvent::CacheLookup {
+                program: "bwaves".into(),
+                dataset: "ref".into(),
+                core: 0,
+                probe: "vmin".into(),
+                mv: 900,
+                hit: true,
+            },
+        ];
+        let mut whole = MetricsRegistry::new();
+        feed(
+            &mut whole,
+            shard_a.iter().chain(&shard_b).cloned().collect(),
+        );
+
+        let mut merged = MetricsRegistry::new();
+        for shard in [shard_a, shard_b] {
+            let mut per_shard = MetricsRegistry::new();
+            feed(&mut per_shard, shard);
+            merged.merge(per_shard).expect("compatible layouts");
+        }
+        assert_eq!(merged.counters(), whole.counters());
+        for name in ["run_runtime_s", "run_severity"] {
+            assert_eq!(
+                merged.histogram(name).expect("merged"),
+                whole.histogram(name).expect("whole"),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_pending_severities_flushes_both_sides() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut fin = StreamFinalizer::new();
+        // Emit without finish(): severities stay buffered in pending_step.
+        a.emit(&fin.seal(run("SC", 16.0)));
+        b.emit(&fin.seal(run("NO", 0.0)));
+        a.merge(b).expect("compatible");
+        let h = a.histogram("step_severity").expect("flushed");
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn openmetrics_exposition_is_deterministic_and_terminated() {
+        let mut m = MetricsRegistry::new();
+        feed(
+            &mut m,
+            vec![
+                TraceEvent::VoltageStepped {
+                    rail: "pmd".into(),
+                    mv: 905,
+                    step: 0,
+                },
+                run("NO", 0.0),
+                run("SC", 16.0),
+            ],
+        );
+        let text = m.to_openmetrics();
+        assert_eq!(text, m.clone().to_openmetrics());
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE voltmargin_runs counter"));
+        assert!(text.contains("voltmargin_runs_total 2"));
+        assert!(text.contains("# TYPE voltmargin_run_runtime_seconds histogram"));
+        assert!(text.contains("# UNIT voltmargin_run_runtime_seconds seconds"));
+        assert!(text.contains("voltmargin_run_runtime_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("voltmargin_run_runtime_seconds_count 2"));
+        // Cumulative buckets: every run of 2e-3 s falls at or under 1e-2.
+        assert!(text.contains("voltmargin_run_runtime_seconds_bucket{le=\"0.01\"} 2"));
+        // Exposition does not mutate the registry's buffered state.
+        assert!(text.contains("voltmargin_step_severity_count 1"));
+        assert_eq!(m.histogram("step_severity").map(Histogram::count), Some(1));
     }
 }

@@ -312,9 +312,10 @@ mod tests {
         let text = String::from_utf8(bytes).expect("utf8");
         assert_eq!(text.lines().count(), 5);
         for line in text.lines() {
-            let v: serde_json::Value = serde_json::from_str(line).expect("parseable");
-            assert!(v.get("event").is_some());
-            assert!(v.get("seq").is_some());
+            let v = crate::json::parse(line).expect("parseable");
+            let obj = v.as_object().expect("object");
+            assert!(obj.contains_key("event"));
+            assert!(obj.contains_key("seq"));
         }
         assert!(text
             .lines()

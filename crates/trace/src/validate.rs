@@ -7,8 +7,14 @@
 //! 2. sequence numbers are dense from 0 and modelled time never decreases,
 //! 3. span nesting is balanced: campaign → sweep → leaf events, with every
 //!    opened span closed.
+//!
+//! Parsing is delegated to [`crate::reader`] (so parse errors name the
+//! offending field) and nesting to [`crate::span`] (so the reconstruction
+//! is shared with the analytics layer).
 
 use crate::event::{TraceEvent, TraceRecord};
+use crate::reader::{read_jsonl, ParseFailure};
+use crate::span;
 use std::fmt;
 
 /// Summary statistics of a valid stream.
@@ -33,6 +39,11 @@ pub enum StreamError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 0-based index of the event in the stream (records parsed
+        /// successfully before this line).
+        event_index: u64,
+        /// The offending field, when the failure is attributable to one.
+        field: Option<String>,
         /// Parser message.
         message: String,
     },
@@ -59,11 +70,31 @@ pub enum StreamError {
     },
 }
 
+impl From<ParseFailure> for StreamError {
+    fn from(failure: ParseFailure) -> Self {
+        StreamError::Parse {
+            line: failure.line,
+            event_index: failure.event_index,
+            field: failure.field,
+            message: failure.message,
+        }
+    }
+}
+
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamError::Parse { line, message } => {
-                write!(f, "line {line}: unparseable record: {message}")
+            StreamError::Parse {
+                line,
+                event_index,
+                field,
+                message,
+            } => {
+                write!(f, "line {line} (event {event_index})")?;
+                if let Some(field) = field {
+                    write!(f, ", field '{field}'")?;
+                }
+                write!(f, ": {message}")
             }
             StreamError::Sequence {
                 line,
@@ -93,16 +124,20 @@ impl std::error::Error for StreamError {}
 ///
 /// Returns the first [`StreamError`] found.
 pub fn validate_jsonl(input: &str) -> Result<StreamStats, StreamError> {
+    let records = read_jsonl(input)?;
+    validate_records(&records)
+}
+
+/// Validates already-parsed records (invariants 2 and 3).
+///
+/// # Errors
+///
+/// Returns the first [`StreamError`] found.
+pub fn validate_records(records: &[TraceRecord]) -> Result<StreamStats, StreamError> {
     let mut stats = StreamStats::default();
-    let mut in_campaign = false;
-    let mut in_sweep = false;
     let mut last_t = 0.0f64;
-    for (idx, line) in input.lines().enumerate() {
-        let lineno = idx + 1;
-        let record: TraceRecord = serde_json::from_str(line).map_err(|e| StreamError::Parse {
-            line: lineno,
-            message: e.to_string(),
-        })?;
+    for record in records {
+        let lineno = stats.records as usize + 1;
         if record.seq != stats.records {
             return Err(StreamError::Sequence {
                 line: lineno,
@@ -115,84 +150,20 @@ pub fn validate_jsonl(input: &str) -> Result<StreamStats, StreamError> {
         }
         last_t = record.t_model_s;
         stats.records += 1;
-
-        let nesting = |message: &str| StreamError::Nesting {
-            line: lineno,
-            message: message.to_owned(),
-        };
         match &record.event {
-            TraceEvent::CampaignStarted { .. } => {
-                if in_campaign {
-                    return Err(nesting("CampaignStarted inside an open campaign"));
-                }
-                in_campaign = true;
-                stats.campaigns += 1;
-            }
-            TraceEvent::CampaignFinished { .. } => {
-                if !in_campaign {
-                    return Err(nesting("CampaignFinished without an open campaign"));
-                }
-                if in_sweep {
-                    return Err(nesting("CampaignFinished inside an open sweep"));
-                }
-                in_campaign = false;
-            }
-            TraceEvent::ShardScheduled { .. } => {
-                if !in_campaign || in_sweep {
-                    return Err(nesting("ShardScheduled outside the campaign preamble"));
-                }
-            }
-            TraceEvent::SweepStarted { .. } => {
-                if !in_campaign {
-                    return Err(nesting("SweepStarted outside a campaign"));
-                }
-                if in_sweep {
-                    return Err(nesting("SweepStarted inside an open sweep"));
-                }
-                in_sweep = true;
-                stats.sweeps += 1;
-            }
-            TraceEvent::SweepFinished { .. } => {
-                if !in_sweep {
-                    return Err(nesting("SweepFinished without an open sweep"));
-                }
-                in_sweep = false;
-            }
-            TraceEvent::GoldenCaptured { .. }
-            | TraceEvent::VoltageStepped { .. }
-            | TraceEvent::RailSet { .. }
-            | TraceEvent::WatchdogPowerCycle { .. }
-            | TraceEvent::CacheErrorReported { .. }
-            | TraceEvent::RunCompleted { .. }
-            | TraceEvent::SearchStep { .. }
-            | TraceEvent::CacheLookup { .. }
-            | TraceEvent::SearchConcluded { .. }
-            | TraceEvent::EarlyStop { .. } => {
-                if !in_sweep {
-                    return Err(nesting("sweep-scoped event outside a sweep"));
-                }
-                match &record.event {
-                    TraceEvent::RunCompleted { .. } => stats.runs += 1,
-                    TraceEvent::WatchdogPowerCycle { .. } => stats.power_cycles += 1,
-                    _ => {}
-                }
-            }
-            // The governor reports decisions outside campaign spans too.
-            TraceEvent::VoltageDecision { .. } => {}
+            TraceEvent::RunCompleted { .. } => stats.runs += 1,
+            TraceEvent::WatchdogPowerCycle { .. } => stats.power_cycles += 1,
+            _ => {}
         }
     }
-    if in_sweep {
-        return Err(StreamError::Nesting {
-            line: 0,
-            message: "stream ended inside an open sweep".to_owned(),
-        });
-    }
-    if in_campaign {
-        return Err(StreamError::Nesting {
-            line: 0,
-            message: "stream ended inside an open campaign".to_owned(),
-        });
-    }
+    let tree = span::reconstruct(records).map_err(|e| StreamError::Nesting {
+        // One record per line: record index i sits on line i + 1, and a
+        // missing index means the stream ended with a span still open.
+        line: e.index.map_or(0, |i| i + 1),
+        message: e.message,
+    })?;
+    stats.campaigns = tree.campaigns.len() as u64;
+    stats.sweeps = tree.campaigns.iter().map(|c| c.sweeps.len() as u64).sum();
     Ok(stats)
 }
 
@@ -283,14 +254,16 @@ mod tests {
         let text = render(vec![campaign_started(), sweep_started(), run()]);
         let err = validate_jsonl(&text).expect_err("open spans");
         assert!(err.to_string().contains("open sweep"), "{err}");
+        assert!(matches!(err, StreamError::Nesting { line: 0, .. }));
 
         let text = render(vec![campaign_started(), run()]);
         let err = validate_jsonl(&text).expect_err("run outside sweep");
         assert!(err.to_string().contains("outside a sweep"), "{err}");
+        assert!(matches!(err, StreamError::Nesting { line: 2, .. }));
     }
 
     #[test]
-    fn sequence_gaps_and_garbage_are_rejected() {
+    fn sequence_gaps_are_rejected() {
         let good = render(vec![
             campaign_started(),
             TraceEvent::CampaignFinished {
@@ -302,12 +275,116 @@ mod tests {
         let tail = good.lines().nth(1).expect("two lines").to_owned();
         assert!(matches!(
             validate_jsonl(&tail),
-            Err(StreamError::Sequence { .. })
+            Err(StreamError::Sequence {
+                line: 1,
+                expected: 0,
+                found: 1,
+            })
         ));
-        assert!(matches!(
-            validate_jsonl("not json\n"),
-            Err(StreamError::Parse { .. })
-        ));
+    }
+
+    #[test]
+    fn garbage_line_reports_position_without_a_field() {
+        let err = validate_jsonl("not json\n").expect_err("garbage");
+        match &err {
+            StreamError::Parse {
+                line: 1,
+                event_index: 0,
+                field: None,
+                ..
+            } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().starts_with("line 1 (event 0): "), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_reported_with_line_event_and_field() {
+        let mut good = render(vec![
+            campaign_started(),
+            TraceEvent::CampaignFinished {
+                runs: 0,
+                power_cycles: 0,
+            },
+        ]);
+        // Break line 2 by dropping its `runs` field.
+        good = good.replace("\"runs\":0,", "");
+        let err = validate_jsonl(&good).expect_err("missing field");
+        match &err {
+            StreamError::Parse {
+                line: 2,
+                event_index: 1,
+                field: Some(field),
+                ..
+            } => assert_eq!(field, "runs"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("field 'runs'"), "{err}");
+    }
+
+    #[test]
+    fn wrong_field_type_is_reported_with_the_field() {
+        let good = render(vec![
+            campaign_started(),
+            TraceEvent::CampaignFinished {
+                runs: 0,
+                power_cycles: 0,
+            },
+        ]);
+        let bad = good.replace("\"power_cycles\":0", "\"power_cycles\":\"zero\"");
+        let err = validate_jsonl(&bad).expect_err("wrong type");
+        match err {
+            StreamError::Parse {
+                line: 2,
+                event_index: 1,
+                field: Some(field),
+                ..
+            } => assert_eq!(field, "power_cycles"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_is_reported_on_the_event_tag() {
+        let good = render(vec![campaign_started()]);
+        let bad = good.replace("CampaignStarted", "CampaignImagined");
+        let err = validate_jsonl(&bad).expect_err("unknown event");
+        match err {
+            StreamError::Parse {
+                line: 1,
+                event_index: 0,
+                field: Some(field),
+                message,
+            } => {
+                assert_eq!(field, "event");
+                assert!(message.contains("CampaignImagined"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_regression_is_rejected() {
+        let text = render(vec![
+            campaign_started(),
+            sweep_started(),
+            run(),
+            sweep_finished(),
+            TraceEvent::CampaignFinished {
+                runs: 1,
+                power_cycles: 0,
+            },
+        ]);
+        // The run advances modelled time; zeroing the final stamp regresses it.
+        let broken = text.replace(
+            "\"seq\":4,\"t_model_s\":0.125",
+            "\"seq\":4,\"t_model_s\":0.0",
+        );
+        assert_ne!(broken, text, "replacement must hit the final record");
+        match validate_jsonl(&broken) {
+            Err(StreamError::TimeRegression { line }) => assert_eq!(line, 5),
+            other => panic!("expected time regression, got {other:?}"),
+        }
     }
 
     #[test]

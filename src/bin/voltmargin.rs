@@ -70,6 +70,8 @@ common options:
                             characterized points are replayed, fresh results
                             are appended after the campaign
   --trace FILE              write the deterministic JSONL telemetry stream
+  --metrics-out FILE        write the OpenMetrics text exposition of the
+                            campaign metrics registry (deterministic)
   --progress                (characterize) live sweep progress on stderr";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -211,8 +213,9 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         config.iterations
     );
     let trace_path = opts.flags.get("trace").cloned();
+    let metrics_out = opts.flags.get("metrics-out").cloned();
     let progress = opts.flags.contains_key("progress");
-    let traced = trace_path.is_some() || progress;
+    let traced = trace_path.is_some() || progress || metrics_out.is_some();
 
     let mut jsonl = match &trace_path {
         Some(path) => {
@@ -222,7 +225,6 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         None => None,
     };
     let mut progress_sink = progress.then(|| ProgressSink::new(std::io::stderr()));
-    let mut metrics = MetricsRegistry::new();
 
     let cache_path = opts.flags.get("cache").cloned();
     let mut cache = match &cache_path {
@@ -240,7 +242,7 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
     };
 
     let campaign = Campaign::new(spec, config);
-    let outcome = if traced {
+    let (outcome, metrics) = if traced {
         let mut sinks: Vec<&mut dyn Sink> = Vec::new();
         if let Some(sink) = progress_sink.as_mut() {
             sinks.push(sink);
@@ -248,10 +250,11 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         if let Some(sink) = jsonl.as_mut() {
             sinks.push(sink);
         }
-        sinks.push(&mut metrics);
-        campaign.execute_with(threads, &mut sinks, cache.as_mut(), None)
+        campaign.execute_metered(threads, &mut sinks, cache.as_mut(), None)
     } else {
-        campaign.execute_with(threads, &mut [], cache.as_mut(), None)
+        // No sink at all: events are never constructed, results identical.
+        let outcome = campaign.execute_with(threads, &mut [], cache.as_mut(), None);
+        (outcome, MetricsRegistry::new())
     };
     let result = analyze(&outcome, &SeverityWeights::paper());
 
@@ -288,6 +291,11 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         sink.into_inner()
             .map_err(|e| format!("--trace {path}: {e}"))?;
         eprintln!("wrote {lines} trace records to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, metrics.to_openmetrics())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        eprintln!("wrote campaign metrics to {path}");
     }
     if traced {
         eprintln!("campaign metrics:");
@@ -396,20 +404,41 @@ fn govern(opts: &mut Options) -> Result<(), String> {
             max_performance_loss: max_loss,
         },
     );
-    let decision = if let Some(path) = opts.flags.get("trace") {
+    let trace_path = opts.flags.get("trace").cloned();
+    let metrics_out = opts.flags.get("metrics-out").cloned();
+    let decision = if trace_path.is_some() || metrics_out.is_some() {
         let buffer = EventBuffer::new();
         let decision = governor.decide_observed(&assignments, &buffer);
-        let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
-        let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+        // Finalize once; the JSONL stream and the metrics registry both
+        // consume the same sealed records.
         let mut finalizer = StreamFinalizer::new();
-        for event in buffer.drain() {
-            sink.emit(&finalizer.seal(event));
+        let records: Vec<_> = buffer
+            .drain()
+            .into_iter()
+            .map(|event| finalizer.seal(event))
+            .collect();
+        if let Some(path) = &trace_path {
+            let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            for record in &records {
+                sink.emit(record);
+            }
+            sink.finish();
+            let lines = sink.lines();
+            sink.into_inner()
+                .map_err(|e| format!("--trace {path}: {e}"))?;
+            eprintln!("wrote {lines} trace records to {path}");
         }
-        sink.finish();
-        let lines = sink.lines();
-        sink.into_inner()
-            .map_err(|e| format!("--trace {path}: {e}"))?;
-        eprintln!("wrote {lines} trace records to {path}");
+        if let Some(path) = &metrics_out {
+            let mut registry = MetricsRegistry::new();
+            for record in &records {
+                registry.emit(record);
+            }
+            registry.finish();
+            std::fs::write(path, registry.to_openmetrics())
+                .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+            eprintln!("wrote governor metrics to {path}");
+        }
         decision
     } else {
         governor.decide(&assignments)

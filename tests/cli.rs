@@ -216,6 +216,84 @@ fn characterize_streams_trace_and_progress() {
 }
 
 #[test]
+fn characterize_metrics_out_writes_deterministic_openmetrics() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |name: &str, threads: &str| {
+        let path = dir.join(name);
+        let out = voltmargin(&[
+            "characterize",
+            "--benchmarks",
+            "namd",
+            "--cores",
+            "4",
+            "--iterations",
+            "2",
+            "--start",
+            "890",
+            "--floor",
+            "875",
+            "--threads",
+            threads,
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("wrote campaign metrics to"),
+            "stderr: {stderr}"
+        );
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let serial = run("serial.om", "1");
+    assert!(serial.contains("voltmargin_campaigns_total 1"), "{serial}");
+    assert!(serial.contains("voltmargin_runs_total"), "{serial}");
+    assert!(serial.ends_with("# EOF\n"), "{serial}");
+    // The registry rides the deterministic record stream, so the
+    // exposition is byte-identical across reruns and thread counts.
+    assert_eq!(serial, run("serial2.om", "1"));
+    assert_eq!(serial, run("sharded.om", "4"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn govern_metrics_out_exposes_the_decision() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-govmetrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("decision.om");
+    let out = voltmargin(&[
+        "govern",
+        "--tasks",
+        "namd,dealII",
+        "--iterations",
+        "2",
+        "--threads",
+        "8",
+        "--max-loss",
+        "0.25",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let data = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        data.contains("voltmargin_governor_decisions_total 1"),
+        "{data}"
+    );
+    assert!(data.ends_with("# EOF\n"), "{data}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn govern_trace_records_the_decision() {
     let dir = std::env::temp_dir().join(format!("voltmargin-govtrace-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
