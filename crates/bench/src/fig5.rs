@@ -1,6 +1,7 @@
 //! Figure 5: the bwaves severity heat-map on the TTT chip.
 
 use crate::fig34::ChipCharacterization;
+use margins_sim::Millivolts;
 use std::fmt::Write as _;
 
 /// Renders the Figure 5 panel: per voltage step (rows, descending) and per
@@ -36,7 +37,7 @@ pub fn fig5_report(ttt: &ChipCharacterization, benchmark: &str) -> String {
     for mv in voltages {
         let _ = write!(out, "{mv:>6}");
         for s in &summaries {
-            match s.step(mv) {
+            match s.step(Millivolts::new(mv)) {
                 Some(st) if st.severity.value() > 0.0 => {
                     let _ = write!(out, "{:>8.1}", st.severity.value());
                 }

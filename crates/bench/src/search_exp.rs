@@ -106,7 +106,7 @@ pub fn priors_from(result: &CharacterizationResult) -> SearchPriors {
             vmin_mv: s.safe_vmin.map(|v| v.get().saturating_sub(5)),
             crash_mv: s.highest_crash.map(Millivolts::get),
         };
-        priors.insert(&s.program, &s.dataset, s.core.index() as u8, prior);
+        priors.insert(&s.program, &s.dataset, s.core, prior);
     }
     priors
 }

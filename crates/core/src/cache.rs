@@ -20,7 +20,7 @@
 use crate::config::{CampaignConfig, SweptRail};
 use crate::effect::EffectSet;
 use crate::search::{ItemPrior, SearchPriors};
-use margins_sim::Enhancements;
+use margins_sim::{CoreId, Enhancements};
 use margins_trace::json;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -271,8 +271,13 @@ impl CampaignCache {
             }
         }
         for ((program, dataset, core), prior) in best {
+            // Cache files are untrusted input: an out-of-range core id is
+            // dropped rather than allowed to panic CoreId's constructor.
+            if (core as usize) >= margins_sim::topology::NUM_CORES {
+                continue;
+            }
             if prior.vmin_mv.is_some() || prior.crash_mv.is_some() {
-                priors.insert(&program, &dataset, core, prior);
+                priors.insert(&program, &dataset, CoreId::new(core), prior);
             }
         }
         priors
@@ -697,7 +702,7 @@ mod tests {
             .build()
             .expect("valid config");
         let priors = cache.derive_priors("TTT#0", &config);
-        let prior = priors.get("bwaves", "ref", 0).expect("prior derived");
+        let prior = priors.get("bwaves", "ref", CoreId::new(0)).expect("prior derived");
         // Highest abnormal voltage across seeds: the 895 SDC entry.
         assert_eq!(prior.vmin_mv, Some(895));
         // Highest crash voltage on the pmd rail: 880 (the soc entry at 910

@@ -108,15 +108,15 @@ pub struct SweepSummary {
 impl SweepSummary {
     /// Step stats at an exact voltage.
     #[must_use]
-    pub fn step(&self, mv: u32) -> Option<&StepStats> {
-        self.steps.iter().find(|s| s.mv == mv)
+    pub fn step(&self, mv: Millivolts) -> Option<&StepStats> {
+        self.steps.iter().find(|s| s.mv == mv.get())
     }
 
-    /// The guardband (mV) from nominal down to the safe Vmin.
+    /// The guardband from nominal down to the safe Vmin.
     #[must_use]
-    pub fn guardband_mv(&self) -> Option<u32> {
+    pub fn guardband_mv(&self) -> Option<Millivolts> {
         self.safe_vmin
-            .map(|v| margins_sim::volt::PMD_NOMINAL.get() - v.get())
+            .map(|v| Millivolts::new(margins_sim::volt::PMD_NOMINAL.get() - v.get()))
     }
 
     /// Steps inside the unsafe or crash region (severity > 0) — the sample
@@ -319,7 +319,7 @@ mod tests {
         assert!(s.steps.iter().all(|st| st.region == RegionKind::Safe));
         assert_eq!(s.average_vmin, Some(880.0));
         assert_eq!(s.average_crash, None);
-        assert_eq!(s.guardband_mv(), Some(100));
+        assert_eq!(s.guardband_mv(), Some(Millivolts::new(100)));
     }
 
     #[test]
@@ -384,9 +384,9 @@ mod tests {
     fn step_lookup_and_observed_union() {
         let r = analyzed("bwaves", 0, 920, 880);
         let s = &r.summaries[0];
-        assert!(s.step(920).is_some());
-        assert!(s.step(921).is_none());
-        let top = s.step(920).unwrap();
+        assert!(s.step(Millivolts::new(920)).is_some());
+        assert!(s.step(Millivolts::new(921)).is_none());
+        let top = s.step(Millivolts::new(920)).unwrap();
         assert!(top.observed().is_normal());
         assert_eq!(top.count(Effect::Sc), 0);
     }

@@ -57,7 +57,7 @@ pub fn regions_csv(result: &CharacterizationResult) -> String {
             opt(s.highest_crash.map(|v| v.get())),
             optf(s.average_vmin),
             optf(s.average_crash),
-            opt(s.guardband_mv()),
+            opt(s.guardband_mv().map(|g| g.get())),
         );
     }
     out

@@ -379,6 +379,7 @@ impl Campaign {
             };
             // A closed receiver means the campaign was abandoned; nothing
             // useful remains to do with this item's result.
+            // lint: allow(swallowed-fallibility) — abandoned campaign: the receiver is gone by design
             let _ = tx.send((*global_idx, traced_item));
         }
     }
@@ -487,8 +488,8 @@ impl Campaign {
 
         let steps = self.config.step_count();
         let prior = priors
-            .and_then(|p| p.get(&bench.name, dataset, core_u8))
-            .map(|p| p.on_grid(self.config.start_voltage.get()));
+            .and_then(|p| p.get(&bench.name, dataset, core))
+            .map(|p| p.on_grid(self.config.start_voltage));
         let mut plan = SearchPlan::for_strategy(
             self.config.search,
             steps,

@@ -23,6 +23,7 @@
 //! [`record`]: SearchPlan::record
 //! [`regions::analyze`]: crate::regions::analyze
 
+use margins_sim::{CoreId, Millivolts};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -127,16 +128,18 @@ impl SearchPriors {
     }
 
     /// Sets the prior for one item.
-    pub fn insert(&mut self, program: &str, dataset: &str, core: u8, prior: ItemPrior) {
-        self.map
-            .insert((program.to_owned(), dataset.to_owned(), core), prior);
+    pub fn insert(&mut self, program: &str, dataset: &str, core: CoreId, prior: ItemPrior) {
+        self.map.insert(
+            (program.to_owned(), dataset.to_owned(), core.index() as u8),
+            prior,
+        );
     }
 
     /// The prior for one item, if any.
     #[must_use]
-    pub fn get(&self, program: &str, dataset: &str, core: u8) -> Option<ItemPrior> {
+    pub fn get(&self, program: &str, dataset: &str, core: CoreId) -> Option<ItemPrior> {
         self.map
-            .get(&(program.to_owned(), dataset.to_owned(), core))
+            .get(&(program.to_owned(), dataset.to_owned(), core.index() as u8))
             .copied()
     }
 
@@ -492,10 +495,10 @@ impl ItemPrior {
     /// Resolves this prior against a concrete grid, producing the step
     /// hints [`SearchPlan::for_strategy`] consumes.
     #[must_use]
-    pub fn on_grid(self, start_mv: u32) -> ResolvedPrior {
+    pub fn on_grid(self, start: Millivolts) -> ResolvedPrior {
         ResolvedPrior {
-            vmin_step: self.vmin_mv.map(|mv| Self::step_on_grid(mv, start_mv)),
-            crash_step: self.crash_mv.map(|mv| Self::step_on_grid(mv, start_mv)),
+            vmin_step: self.vmin_mv.map(|mv| Self::step_on_grid(mv, start.get())),
+            crash_step: self.crash_mv.map(|mv| Self::step_on_grid(mv, start.get())),
         }
     }
 }
@@ -652,7 +655,7 @@ mod tests {
             vmin_mv: Some(905),
             crash_mv: Some(880),
         };
-        let resolved = prior.on_grid(930);
+        let resolved = prior.on_grid(Millivolts::new(930));
         assert_eq!(resolved.vmin_step, Some(5));
         assert_eq!(resolved.crash_step, Some(10));
         // A prior above the grid top clamps to step 0 inside the search.
@@ -661,7 +664,7 @@ mod tests {
                 vmin_mv: Some(950),
                 crash_mv: None
             }
-            .on_grid(930)
+            .on_grid(Millivolts::new(930))
             .vmin_step,
             Some(0)
         );
@@ -674,14 +677,17 @@ mod tests {
         p.insert(
             "bwaves",
             "ref",
-            0,
+            CoreId::new(0),
             ItemPrior {
                 vmin_mv: Some(905),
                 crash_mv: Some(880),
             },
         );
         assert_eq!(p.len(), 1);
-        assert_eq!(p.get("bwaves", "ref", 0).and_then(|i| i.vmin_mv), Some(905));
-        assert_eq!(p.get("bwaves", "ref", 1), None);
+        assert_eq!(
+            p.get("bwaves", "ref", CoreId::new(0)).and_then(|i| i.vmin_mv),
+            Some(905)
+        );
+        assert_eq!(p.get("bwaves", "ref", CoreId::new(1)), None);
     }
 }

@@ -509,6 +509,51 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let src = "/* a /* b /* c */ d */ e */ fn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn unterminated_nested_comment_swallows_the_rest() {
+        // Forgiving lexing: a half-written file must not panic; everything
+        // after the unclosed `/*` is comment, not code.
+        let src = "fn before() {} /* open /* still open */ fn after() {}";
+        assert_eq!(idents(src), vec!["fn", "before"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_span_lines_and_track_positions() {
+        let src = "let a = r##\"multi\nline \"# quote\" unwrap()\"##;\nlet b = 1;";
+        let lexed = lex(src);
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+        let b_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("b"))
+            .expect("b survives");
+        assert_eq!(b_tok.line, 3, "newlines inside raw strings still advance lines");
+    }
+
+    #[test]
+    fn labeled_loops_and_escaped_quote_chars() {
+        let src = "fn f() { 'outer: loop { break 'outer; } let q = '\\''; let s: &'static str = \"\"; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3, "two labels plus 'static");
+        // The escaped-quote char literal is consumed whole: the tokens after
+        // it resume correctly and nothing inside it leaks out as code.
+        assert_eq!(
+            idents(src),
+            vec!["fn", "f", "loop", "break", "let", "q", "let", "s", "str"]
+        );
+    }
+
+    #[test]
     fn doc_comments_are_comments() {
         let lexed = lex("/// outer doc\n//! inner doc\nfn x() {}\n");
         assert_eq!(lexed.comments.len(), 2);

@@ -4,7 +4,7 @@
 //!
 //! The paper's figures (safe `Vmin` per benchmark/core, severity, predictor
 //! accuracy) are statements about *distributions* of system-level effects;
-//! they only replicate if a fixed seed yields bit-identical campaigns. Six
+//! they only replicate if a fixed seed yields bit-identical campaigns. Ten
 //! rules guard that property:
 //!
 //! | rule | name | scope | invariant |
@@ -15,11 +15,21 @@
 //! | L4 | `no-panic` | deterministic crates | no `unwrap()`/`expect()` in library code |
 //! | L5 | `wall-clock` | deterministic crates | no `Instant::now`/`SystemTime::now` |
 //! | L6 | `stale-file` | whole tree | no `*.bak`/`*.orig`/`*.rej` files |
+//! | L7 | `unit-escape` | all non-test code | no raw `u32`/`u8` quantities on `pub fn` boundaries where a workspace newtype exists |
+//! | L8 | `span-balance` | all non-test code | `TraceEvent` uses match the schema; span opens are closed in the same fn |
+//! | L9 | `order-sensitivity` | deterministic crates | thread-spawn sites route results through a reorder/finalizer path |
+//! | L10 | `swallowed-fallibility` | deterministic crates | no `let _ =`/`drop()` of fallible I/O, cache and sink `Result`s |
 //!
-//! The *deterministic crates* are `sim`, `core`, `energy`, `predict` and
-//! `trace` —
+//! L1–L6 are token rules: each file is judged alone. L7–L10 are *semantic*
+//! rules: a first pass parses every workspace file into items (see
+//! [`parse`]) and merges their declarations into a cross-file symbol table
+//! (see [`symbols`]); a second pass judges each file against that table.
+//!
+//! The *deterministic crates* are `sim`, `core`, `energy`, `predict`,
+//! `trace` and `scope` —
 //! everything between a campaign seed and a figure. Test code (`tests/`,
-//! `benches/`, `examples/`, `#[cfg(test)]` modules) is exempt from L1–L5.
+//! `benches/`, `examples/`, `#[cfg(test)]` modules) is exempt from code
+//! rules.
 //!
 //! Any rule can be waived per line with an explicit, reported comment:
 //!
@@ -29,8 +39,9 @@
 //!
 //! The linter is dependency-free by design: it lexes Rust itself (see
 //! [`lexer`]) instead of using `syn`, so it builds in hermetic CI
-//! sandboxes with no registry access, and its JSON report (see [`report`])
-//! is byte-deterministic.
+//! sandboxes with no registry access, and its JSON, SARIF (see [`sarif`])
+//! and cache (see [`cache`]) surfaces are byte-deterministic — cold and
+//! incremental-cached runs produce identical reports.
 //!
 //! Run it with `cargo run -p margins-lint -- --workspace [--deny]`, or in
 //! tier-1 via the `workspace_clean` integration test.
@@ -38,29 +49,110 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 pub mod walk;
 
 use report::Report;
 use rules::FileOutcome;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
+use symbols::{fnv1a, FileSymbols, Symbols};
 
 pub use rules::{Finding, Rule, Waiver, DETERMINISTIC_CRATES};
 
+/// How the incremental cache participated in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheState {
+    /// No cache path was given; plain full scan.
+    Disabled,
+    /// No cache file existed yet; full scan, cache written.
+    Cold,
+    /// A cache was loaded and consulted.
+    Warm,
+    /// A cache existed but was malformed; full re-scan. The message says
+    /// where and why — this is the typed degradation path, never a panic.
+    Corrupt(String),
+}
+
+/// Run statistics, reported out-of-band (stderr) so the report bytes stay
+/// identical between cold and cached runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintStats {
+    /// Rust files considered by the lint pass.
+    pub rust_files: usize,
+    /// Files whose findings were reused from the cache.
+    pub cache_hits: usize,
+    /// Files lexed/parsed/linted fresh this run.
+    pub cache_misses: usize,
+    /// How the cache participated.
+    pub cache_state: CacheState,
+}
+
 /// Lints the workspace rooted at `root` (the directory holding the
-/// top-level `Cargo.toml`).
+/// top-level `Cargo.toml`) with a full scan.
 ///
 /// # Errors
 ///
 /// Returns any I/O error raised while walking or reading the tree.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint_workspace_incremental(root, None)?.0)
+}
+
+/// Lints the workspace, consulting and refreshing the cache at
+/// `cache_path` when given.
+///
+/// The produced [`Report`] is byte-identical to a full scan's: the cache
+/// changes *how much work* a run does, never *what it reports*. A file's
+/// cached outcome is reused only when its content hash **and** the
+/// workspace context hash both match (semantic findings depend on other
+/// files' declarations).
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking or reading the tree, or
+/// writing the refreshed cache. A corrupt cache is *not* an error: it
+/// degrades to a full re-scan recorded in [`LintStats::cache_state`].
+pub fn lint_workspace_incremental(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> io::Result<(Report, LintStats)> {
     let files = walk::walk(root)?;
+
+    let (cache_state, old_cache) = match cache_path {
+        None => (CacheState::Disabled, None),
+        Some(p) => match cache::load(p) {
+            cache::LoadOutcome::Missing => (CacheState::Cold, None),
+            cache::LoadOutcome::Loaded(c) => (CacheState::Warm, Some(c)),
+            cache::LoadOutcome::Corrupt(msg) => (CacheState::Corrupt(msg), None),
+        },
+    };
+
+    // Pass 1: collect manifests, read every lintable Rust file, and build
+    // its symbol summary — reusing cached summaries for unchanged files.
+    struct Entry {
+        rel: String,
+        scope: rules::FileScope,
+        src: String,
+        hash: u64,
+        cached: Option<cache::CachedFile>,
+    }
+    let mut manifests: BTreeMap<String, String> = BTreeMap::new();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut per_file_syms: BTreeMap<String, FileSymbols> = BTreeMap::new();
     let mut report = Report::default();
+
     for rel in &files {
+        if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+            manifests.insert(rel.clone(), fs::read_to_string(root.join(rel))?);
+        }
         let Some(scope) = rules::classify_path(rel) else {
             continue;
         };
@@ -68,13 +160,98 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         if let Some(stale) = rules::check_stale_file(rel) {
             report.findings.push(stale);
         }
-        if rel.ends_with(".rs") {
-            let src = fs::read_to_string(root.join(rel))?;
-            let FileOutcome { findings, waivers } = rules::lint_rust_file(rel, &src, scope);
-            report.findings.extend(findings);
-            report.waivers.extend(waivers);
+        if !rel.ends_with(".rs") {
+            continue;
         }
+        let src = fs::read_to_string(root.join(rel))?;
+        let hash = fnv1a(src.as_bytes());
+        let cached = old_cache
+            .as_ref()
+            .and_then(|c| c.files.get(rel))
+            .filter(|f| f.hash == hash)
+            .cloned();
+        let syms = cached.as_ref().map_or_else(
+            || symbols::file_symbols(&parse::parse(&lexer::lex(&src).tokens)),
+            |f| f.symbols.clone(),
+        );
+        per_file_syms.insert(rel.clone(), syms);
+        entries.push(Entry {
+            rel: rel.clone(),
+            scope,
+            src,
+            hash,
+            cached,
+        });
     }
+
+    // Pass 2: merge the table, then judge each file against it. Cached
+    // findings are valid only under the same workspace context.
+    let symbols = Symbols::build(&per_file_syms, &manifests);
+    let context = symbols.context_hash();
+    let context_matches = old_cache.as_ref().is_some_and(|c| c.context == context);
+
+    let mut stats = LintStats {
+        rust_files: entries.len(),
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_state: CacheState::Disabled,
+    };
+    let mut new_cache = cache::Cache {
+        context,
+        files: BTreeMap::new(),
+    };
+
+    for e in entries {
+        let (findings, waivers) = match e.cached {
+            Some(c) if context_matches => {
+                stats.cache_hits += 1;
+                let findings = c
+                    .findings
+                    .iter()
+                    .map(|f| Finding {
+                        file: e.rel.clone(),
+                        ..f.clone()
+                    })
+                    .collect::<Vec<_>>();
+                let waivers = c
+                    .waivers
+                    .iter()
+                    .map(|w| Waiver {
+                        file: e.rel.clone(),
+                        ..w.clone()
+                    })
+                    .collect::<Vec<_>>();
+                new_cache.files.insert(e.rel.clone(), c);
+                (findings, waivers)
+            }
+            _ => {
+                stats.cache_misses += 1;
+                let FileOutcome { findings, waivers } =
+                    rules::lint_rust_file_semantic(&e.rel, &e.src, e.scope, &symbols);
+                new_cache.files.insert(
+                    e.rel.clone(),
+                    cache::CachedFile {
+                        hash: e.hash,
+                        symbols: per_file_syms
+                            .get(&e.rel)
+                            .cloned()
+                            .unwrap_or_default(),
+                        findings: findings.clone(),
+                        waivers: waivers.clone(),
+                    },
+                );
+                (findings, waivers)
+            }
+        };
+        report.findings.extend(findings);
+        report.waivers.extend(waivers);
+    }
+
+    if let Some(p) = cache_path {
+        cache::store(p, &new_cache)?;
+    }
+    stats.cache_state = cache_state;
+
     report.sort();
-    Ok(report)
+    Ok((report, stats))
 }

@@ -1,0 +1,140 @@
+//! SARIF 2.1.0 exposition of a lint run.
+//!
+//! Emits the subset of SARIF that code-scanning consumers need: tool
+//! driver metadata with the full rule table, and one `result` per finding
+//! carrying a `physicalLocation` with `artifactLocation` + `region`.
+//!
+//! Like every serialized surface in this repo the output is
+//! byte-deterministic: findings are emitted in the report's sorted order,
+//! URIs are workspace-relative (never absolute, so two machines produce
+//! identical bytes), and the writer is hand-rolled (no serde).
+
+use crate::report::{json_str, Report};
+use crate::rules::Rule;
+use std::fmt::Write as _;
+
+/// The schema the output declares conformance to.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// SARIF clamps positions to 1-based; stale-file findings carry line 0.
+fn clamp(n: u32) -> u32 {
+    n.max(1)
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    let rules = Rule::all();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"$schema\": {},", json_str(SARIF_SCHEMA));
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"margins-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/voltmargin\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in rules.iter().enumerate() {
+        let _ = write!(
+            s,
+            "            {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(rule.label()),
+            json_str(rule.name()),
+            json_str(rule.summary())
+        );
+        s.push_str(if i + 1 == rules.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let rule_index = rules
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or_default();
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            s,
+            "        {{\"ruleId\": {}, \"ruleIndex\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_str(f.rule.label()),
+            rule_index,
+            json_str(&f.message),
+            json_str(&f.file),
+            clamp(f.line),
+            clamp(f.col)
+        );
+    }
+    s.push_str(if report.findings.is_empty() {
+        "]\n"
+    } else {
+        "\n      ]\n"
+    });
+    s.push_str("    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 1,
+            findings: vec![
+                Finding {
+                    file: "crates/sim/src/a.rs".into(),
+                    line: 3,
+                    col: 7,
+                    rule: Rule::UnitEscape,
+                    message: "raw \"mv\" crossing".into(),
+                },
+                Finding {
+                    file: "a.bak".into(),
+                    line: 0,
+                    col: 0,
+                    rule: Rule::StaleFile,
+                    message: "stale".into(),
+                },
+            ],
+            waivers: Vec::new(),
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let doc = to_sarif(&sample());
+        assert!(doc.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        // All ten rules appear in the driver metadata.
+        for rule in Rule::all() {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", rule.label())));
+        }
+        assert!(doc.contains("\"ruleId\": \"L7\""));
+        assert!(doc.contains("\"uri\": \"crates/sim/src/a.rs\""));
+        assert!(doc.contains("\"startLine\": 3"));
+        assert!(doc.contains("raw \\\"mv\\\" crossing"));
+    }
+
+    #[test]
+    fn sarif_clamps_zero_positions() {
+        let doc = to_sarif(&sample());
+        // The stale-file finding at line 0 must surface as line 1.
+        assert!(doc.contains("\"startLine\": 1, \"startColumn\": 1"));
+        assert!(!doc.contains("\"startLine\": 0"));
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        assert_eq!(to_sarif(&sample()), to_sarif(&sample()));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_results() {
+        let mut r = Report::default();
+        r.sort();
+        let doc = to_sarif(&r);
+        assert!(doc.contains("\"results\": []"));
+    }
+}

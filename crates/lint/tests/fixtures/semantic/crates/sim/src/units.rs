@@ -1,0 +1,22 @@
+//! Fixture: the quantity newtypes the unit-escape rule resolves against.
+//! The newtype's own impl is allowed to speak raw units — constructors and
+//! accessors are exactly where the primitive must appear.
+
+pub struct Millivolts(u32);
+pub struct CoreId(u8);
+
+impl Millivolts {
+    pub fn new(mv: u32) -> Millivolts {
+        Millivolts(mv)
+    }
+
+    pub fn mv(&self) -> u32 {
+        self.0
+    }
+}
+
+impl CoreId {
+    pub fn new(core: u8) -> CoreId {
+        CoreId(core)
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the trace schema the span-balance rule resolves against.
+
+pub enum TraceEvent {
+    CampaignStarted { chip: String, runs: u32 },
+    CampaignFinished { runs: u32 },
+    SweepStarted { program: String, core: u8 },
+    SweepFinished { program: String, runs: u32 },
+    RunCompleted { program: String, mv: u32 },
+}

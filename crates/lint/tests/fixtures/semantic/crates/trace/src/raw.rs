@@ -1,0 +1,11 @@
+//! Fixture: `trace` does not depend on `sim`, so unit-escape must not
+//! demand a newtype this crate cannot even name. Raw primitives on these
+//! boundaries are deliberate (the serialized stream carries primitives).
+
+pub fn record(mv: u32, core: u8) -> u32 {
+    u32::from(core) + mv
+}
+
+pub fn vmin_mv(program: &str) -> u32 {
+    program.len() as u32
+}

@@ -1,0 +1,144 @@
+//! The incremental-cache contract: the cache changes how much work a run
+//! does, never what it reports. Cold, warm and corrupt-cache runs must all
+//! produce byte-identical reports, and corruption must degrade to a full
+//! re-scan with a typed state — never a panic.
+
+use margins_lint::{lint_workspace, lint_workspace_incremental, sarif, CacheState};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn semantic_root() -> PathBuf {
+    let manifest = option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
+    manifest.join("tests/fixtures/semantic")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("margins-lint-{tag}-{}", std::process::id()))
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("mkdir");
+    for entry in fs::read_dir(from).expect("read_dir") {
+        let entry = entry.expect("entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            fs::copy(&src, &dst).expect("copy");
+        }
+    }
+}
+
+#[test]
+fn cold_then_warm_runs_are_byte_identical_and_fully_cached() {
+    let cache = temp_path("cache-warm");
+    let _ = fs::remove_file(&cache);
+
+    let (cold, cold_stats) =
+        lint_workspace_incremental(&semantic_root(), Some(&cache)).expect("cold run");
+    assert_eq!(cold_stats.cache_state, CacheState::Cold);
+    assert_eq!(cold_stats.cache_hits, 0);
+    assert_eq!(cold_stats.cache_misses, cold_stats.rust_files);
+
+    let (warm, warm_stats) =
+        lint_workspace_incremental(&semantic_root(), Some(&cache)).expect("warm run");
+    assert_eq!(warm_stats.cache_state, CacheState::Warm);
+    assert_eq!(
+        warm_stats.cache_hits, warm_stats.rust_files,
+        "an unchanged tree must hit the cache for every file"
+    );
+    assert_eq!(warm_stats.cache_misses, 0);
+
+    assert_eq!(cold.to_json(), warm.to_json(), "JSON must not depend on the cache");
+    assert_eq!(
+        sarif::to_sarif(&cold),
+        sarif::to_sarif(&warm),
+        "SARIF must be byte-identical cold vs incremental-cached"
+    );
+
+    // A plain full scan agrees too.
+    let full = lint_workspace(&semantic_root()).expect("full scan");
+    assert_eq!(full.to_json(), cold.to_json());
+
+    let _ = fs::remove_file(&cache);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_full_scan_with_typed_state() {
+    let cache = temp_path("cache-corrupt");
+    fs::write(&cache, b"margins-lint-cache v2 ctx=zz\x00not hex\nF garbage\n")
+        .expect("plant corrupt cache");
+
+    let (report, stats) =
+        lint_workspace_incremental(&semantic_root(), Some(&cache)).expect("corrupt run");
+    match &stats.cache_state {
+        CacheState::Corrupt(msg) => {
+            assert!(!msg.is_empty(), "corruption message says where and why")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    assert_eq!(stats.cache_hits, 0, "nothing reusable from a corrupt cache");
+
+    let baseline = lint_workspace(&semantic_root()).expect("full scan");
+    assert_eq!(
+        report.to_json(),
+        baseline.to_json(),
+        "corrupt cache must fall back to the full-scan report"
+    );
+
+    // The corrupt file was replaced by a valid cache: next run is warm.
+    let (_, stats2) =
+        lint_workspace_incremental(&semantic_root(), Some(&cache)).expect("recovered run");
+    assert_eq!(stats2.cache_state, CacheState::Warm);
+    assert_eq!(stats2.cache_misses, 0);
+
+    let _ = fs::remove_file(&cache);
+}
+
+#[test]
+fn edits_invalidate_precisely() {
+    let tree = temp_path("tree-edit");
+    let cache = temp_path("cache-edit");
+    let _ = fs::remove_dir_all(&tree);
+    let _ = fs::remove_file(&cache);
+    copy_tree(&semantic_root(), &tree);
+
+    let (cold, cold_stats) =
+        lint_workspace_incremental(&tree, Some(&cache)).expect("cold run");
+
+    // A comment-only edit re-lints just that file: its symbol summary is
+    // unchanged, so the workspace context holds and everyone else hits.
+    let clean = tree.join("crates/core/src/clean.rs");
+    let mut src = fs::read_to_string(&clean).expect("read clean.rs");
+    src.push_str("\n// trailing comment, no symbol change\n");
+    fs::write(&clean, &src).expect("touch clean.rs");
+
+    let (after_comment, stats) =
+        lint_workspace_incremental(&tree, Some(&cache)).expect("comment run");
+    assert_eq!(stats.cache_misses, 1, "only the edited file re-lints");
+    assert_eq!(stats.cache_hits, cold_stats.rust_files - 1);
+    assert_eq!(
+        cold.to_json(),
+        after_comment.to_json(),
+        "a comment-only edit changes no findings"
+    );
+
+    // Declaring a new newtype changes the workspace context hash: every
+    // file's cached findings are invalidated, not just the edited one.
+    let units = tree.join("crates/sim/src/units.rs");
+    let mut src = fs::read_to_string(&units).expect("read units.rs");
+    src.push_str("\npub struct Megahertz(u32);\n");
+    fs::write(&units, &src).expect("extend units.rs");
+
+    let (_, stats) = lint_workspace_incremental(&tree, Some(&cache)).expect("context run");
+    assert_eq!(
+        stats.cache_hits, 0,
+        "a symbol-table change must invalidate every cached finding"
+    );
+    assert_eq!(stats.cache_misses, stats.rust_files);
+
+    let _ = fs::remove_dir_all(&tree);
+    let _ = fs::remove_file(&cache);
+}

@@ -1,6 +1,8 @@
-//! Exercises every rule L1–L6 against the `seedlike` fixture tree —
-//! positive hits, waived hits and clean files — asserting on both the
-//! structured report and its JSON form.
+//! Exercises every rule against the fixture trees — positive hits, waived
+//! hits and clean files — asserting on both the structured report and its
+//! JSON form. The `seedlike` tree covers the token rules L1–L6; the
+//! `semantic` tree carries manifests, newtypes and a trace schema so the
+//! cross-file rules L7–L10 resolve against a real symbol table.
 
 use margins_lint::rules::Rule;
 use std::path::PathBuf;
@@ -11,8 +13,18 @@ fn fixture_root() -> PathBuf {
     manifest.join("tests/fixtures/seedlike")
 }
 
+fn semantic_root() -> PathBuf {
+    let manifest = option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
+    manifest.join("tests/fixtures/semantic")
+}
+
 fn lint_fixture() -> margins_lint::report::Report {
     margins_lint::lint_workspace(&fixture_root()).expect("fixture tree lints")
+}
+
+fn lint_semantic() -> margins_lint::report::Report {
+    margins_lint::lint_workspace(&semantic_root()).expect("semantic tree lints")
 }
 
 fn count(report: &margins_lint::report::Report, rule: Rule, file: &str) -> usize {
@@ -136,4 +148,137 @@ fn human_diagnostics_use_file_line_col() {
     );
     assert!(human.contains("[L4/no-panic]"));
     assert!(human.contains("unused waivers"));
+}
+
+// ---- the `semantic` tree: L7–L10 against a real symbol table ----
+
+const SEM_BAD: &str = "crates/core/src/bad.rs";
+const SEM_CLEAN: &str = "crates/core/src/clean.rs";
+const SEM_WAIVED: &str = "crates/core/src/waived.rs";
+const SEM_OFFPATH: &str = "crates/bench/src/offpath.rs";
+const SEM_TRACE_RAW: &str = "crates/trace/src/raw.rs";
+const SEM_EXEMPT: &str = "crates/core/tests/exempt_semantic.rs";
+
+#[test]
+fn semantic_rules_fire_on_the_bad_file() {
+    let report = lint_semantic();
+    // L7: raw `mv: u32` param, raw `-> u32` on `vmin_mv`, raw `core: u8`.
+    assert_eq!(count(&report, Rule::UnitEscape, SEM_BAD), 3);
+    // L8: unknown variant + unknown field + unclosed span open.
+    assert_eq!(count(&report, Rule::SpanBalance, SEM_BAD), 3);
+    // L9: spawn with no reorder/finalizer path.
+    assert_eq!(count(&report, Rule::OrderSensitivity, SEM_BAD), 1);
+    // L10: .flush(), drop(.send()), always-Result workspace fn, writeln!
+    // to a path target.
+    assert_eq!(count(&report, Rule::SwallowedFallibility, SEM_BAD), 4);
+}
+
+#[test]
+fn unit_escape_messages_name_the_newtype_and_its_crate() {
+    let report = lint_semantic();
+    let msg = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::UnitEscape && f.file == SEM_BAD)
+        .map(|f| f.message.clone())
+        .expect("at least one L7 finding");
+    assert!(msg.contains("Millivolts"), "{msg}");
+    assert!(msg.contains("`sim`"), "{msg}");
+}
+
+#[test]
+fn span_balance_distinguishes_its_three_failure_modes() {
+    let report = lint_semantic();
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::SpanBalance && f.file == SEM_BAD)
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages.iter().any(|m| m.contains("`TraceEvent::Typo`")));
+    assert!(messages.iter().any(|m| m.contains("field `speed`")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("no matching `CampaignFinished`")));
+}
+
+#[test]
+fn semantic_clean_file_produces_nothing() {
+    let report = lint_semantic();
+    assert_eq!(
+        report.findings.iter().filter(|f| f.file == SEM_CLEAN).count(),
+        0,
+        "{:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.file == SEM_CLEAN)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn semantic_waivers_suppress_and_are_reported() {
+    let report = lint_semantic();
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.file == SEM_WAIVED)
+            .count(),
+        0,
+        "all violations in waived.rs carry waivers"
+    );
+    let waivers: Vec<_> = report
+        .waivers
+        .iter()
+        .filter(|w| w.file == SEM_WAIVED)
+        .collect();
+    assert_eq!(waivers.len(), 5, "{waivers:?}");
+    assert_eq!(waivers.iter().filter(|w| w.used).count(), 4);
+    let unused: Vec<_> = waivers.iter().filter(|w| !w.used).collect();
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].rule, Rule::UnitEscape);
+}
+
+#[test]
+fn unit_escape_respects_the_dependency_graph() {
+    let report = lint_semantic();
+    // `trace` cannot name `sim`'s newtypes: raw primitives are fine there.
+    assert_eq!(count(&report, Rule::UnitEscape, SEM_TRACE_RAW), 0);
+    // `bench` can: the rule binds it even off the deterministic path.
+    assert_eq!(count(&report, Rule::UnitEscape, SEM_OFFPATH), 1);
+}
+
+#[test]
+fn concurrency_rules_do_not_bind_off_path_crates() {
+    let report = lint_semantic();
+    assert_eq!(count(&report, Rule::OrderSensitivity, SEM_OFFPATH), 0);
+    assert_eq!(count(&report, Rule::SwallowedFallibility, SEM_OFFPATH), 0);
+}
+
+#[test]
+fn semantic_rules_skip_test_context_files() {
+    let report = lint_semantic();
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.file == SEM_EXEMPT)
+            .count(),
+        0,
+        "integration-test files are exempt from semantic rules"
+    );
+}
+
+#[test]
+fn newtype_and_schema_declarations_do_not_self_flag() {
+    let report = lint_semantic();
+    for file in ["crates/sim/src/units.rs", "crates/trace/src/event.rs"] {
+        assert_eq!(
+            report.findings.iter().filter(|f| f.file == file).count(),
+            0,
+            "declaration files must lint clean"
+        );
+    }
 }

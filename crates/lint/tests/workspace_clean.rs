@@ -2,11 +2,16 @@
 //!
 //! This is the `#[test]` form of `cargo run -p margins-lint -- --workspace
 //! --deny`: zero unwaived findings, and no dead waivers rotting in the
-//! tree either.
+//! tree either — with the full rule set L1–L10 active.
 
 use std::path::PathBuf;
 
 fn workspace_root() -> PathBuf {
+    // MARGINS_WORKSPACE_ROOT lets hermetic sandboxes point this gate at a
+    // checkout that lives elsewhere than the test binary's manifest.
+    if let Ok(root) = std::env::var("MARGINS_WORKSPACE_ROOT") {
+        return PathBuf::from(root);
+    }
     let manifest = option_env!("CARGO_MANIFEST_DIR")
         .map_or_else(|| std::env::current_dir().expect("cwd"), PathBuf::from);
     // crates/lint -> workspace root.
@@ -39,5 +44,50 @@ fn workspace_has_no_unused_waivers() {
     assert!(
         unused.is_empty(),
         "every waiver must still suppress something: {unused:?}"
+    );
+}
+
+#[test]
+fn workspace_semantic_rules_see_the_symbol_table() {
+    // The semantic pass must actually resolve workspace symbols: the sim
+    // crate declares Millivolts, so the quantity registry must activate.
+    // (An empty table would silently disable L7/L8 everywhere.)
+    let root = workspace_root();
+    let files = margins_lint::walk::walk(&root).expect("walk");
+    let mut per_file = std::collections::BTreeMap::new();
+    let mut manifests = std::collections::BTreeMap::new();
+    for rel in &files {
+        if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+            manifests.insert(rel.clone(), std::fs::read_to_string(root.join(rel)).unwrap());
+        }
+        if rel.ends_with(".rs") && margins_lint::rules::classify_path(rel).is_some() {
+            let src = std::fs::read_to_string(root.join(rel)).unwrap();
+            let parsed = margins_lint::parse::parse(&margins_lint::lexer::lex(&src).tokens);
+            per_file.insert(rel.clone(), margins_lint::symbols::file_symbols(&parsed));
+        }
+    }
+    let symbols = margins_lint::symbols::Symbols::build(&per_file, &manifests);
+    assert!(
+        symbols.newtypes.contains_key("Millivolts"),
+        "sim's Millivolts newtype must be in the workspace symbol table"
+    );
+    assert!(
+        !symbols.trace_schema.is_empty(),
+        "the TraceEvent schema must be in the workspace symbol table"
+    );
+    assert!(
+        symbols
+            .active_quantities
+            .iter()
+            .any(|q| q.quantity.newtype == "Millivolts"),
+        "the Millivolts quantity must be active"
+    );
+    assert!(
+        symbols.crate_sees("core", "sim"),
+        "core depends on sim, so L7 must bind core"
+    );
+    assert!(
+        !symbols.crate_sees("trace", "sim"),
+        "trace does not depend on sim, so L7 must not bind trace"
     );
 }

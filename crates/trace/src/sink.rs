@@ -143,7 +143,9 @@ impl<W: Write> ProgressSink<W> {
 
     fn line(&mut self, text: &str) {
         // Progress is best-effort; a broken stderr must not kill a campaign.
+        // lint: allow(swallowed-fallibility) — best-effort progress line on stderr
         let _ = writeln!(self.writer, "{text}");
+        // lint: allow(swallowed-fallibility) — best-effort progress flush on stderr
         let _ = self.writer.flush();
     }
 }

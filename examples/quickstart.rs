@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map_or_else(|| "-".into(), |v| v.to_string()),
             summary
                 .guardband_mv()
-                .map_or_else(|| "-".into(), |g| g.to_string()),
+                .map_or_else(|| "-".into(), |g| g.get().to_string()),
         );
         println!("  severity by voltage (unsafe/crash region):");
         for step in summary.abnormal_steps() {

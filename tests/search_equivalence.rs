@@ -94,7 +94,7 @@ fn prior_from(summary: &SweepSummary) -> SearchPriors {
     priors.insert(
         &summary.program,
         &summary.dataset,
-        summary.core.index() as u8,
+        summary.core,
         ItemPrior {
             vmin_mv: summary.safe_vmin.map(|v| v.get().saturating_sub(5)),
             crash_mv: summary.highest_crash.map(Millivolts::get),
@@ -140,7 +140,7 @@ fn bisection_and_warm_start_match_exhaustive_on_contiguous_items() {
             // board yields the same runs regardless of the probe order.
             for step in &summary.steps {
                 let expected = reference
-                    .step(step.mv)
+                    .step(Millivolts::new(step.mv))
                     .expect("adaptive searches probe grid steps only");
                 assert_eq!(step, expected, "{strategy} at {}mV", step.mv);
             }
@@ -232,7 +232,7 @@ fn adaptive_search_visits_at_most_40_percent_of_the_reference_grid() {
         priors.insert(
             &s.program,
             &s.dataset,
-            s.core.index() as u8,
+            s.core,
             ItemPrior {
                 vmin_mv: s.safe_vmin.map(|v| v.get().saturating_sub(5)),
                 crash_mv: s.highest_crash.map(Millivolts::get),
