@@ -1,0 +1,145 @@
+//! Criterion benchmarks of the simulator substrate: per-kernel run
+//! throughput at nominal conditions.
+//!
+//! Besides the Criterion measurements, `main` records an ops/sec
+//! trajectory to `BENCH_sim.json` in the working directory: for each
+//! kernel, retired ops per wall second at nominal voltage (fault path
+//! nearly idle) and at a deep-but-safe undervolt (fault sampling, SRAM
+//! events and ECC machinery active), plus the per-op overhead the fault
+//! path adds. Future simulator changes regress against this baseline.
+
+use criterion::{criterion_group, Criterion};
+use margins_sim::{ChipSpec, CoreId, Corner, Millivolts, RunRecord, System, SystemConfig};
+use margins_workloads::{suite, Dataset};
+use std::time::Instant;
+
+const KERNELS: [&str; 3] = ["bwaves", "namd", "mcf"];
+/// The paper's robust core — sweeps stay complete-able well below 900 mV.
+const CORE: u8 = 4;
+/// Deep-but-safe undervolt: 80 mV under the 980 mV nominal, above the
+/// robust core's Vmin for every bench kernel.
+const UNDERVOLT_MV: u32 = 900;
+const REPS: u32 = 10;
+const SEED: u64 = 0xB00C_5EED;
+
+/// One run on a pristine board; `mv` of `None` keeps the nominal rail.
+fn run_once(spec: ChipSpec, kernel: &str, mv: Option<u32>, seed: u64) -> Option<RunRecord> {
+    let program = suite::by_name(kernel, Dataset::Ref).expect("bench kernels exist");
+    let mut system = System::new(spec, SystemConfig::default());
+    if let Some(mv) = mv {
+        system
+            .slimpro_mut()
+            .set_pmd_voltage(Millivolts::new(mv))
+            .expect("bench undervolt is on the regulator grid");
+    }
+    system.run(program.as_ref(), CoreId::new(CORE), seed).ok()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let spec = ChipSpec::new(Corner::Ttt, 0);
+    let mut group = c.benchmark_group("sim/run@nominal");
+    for kernel in KERNELS {
+        group.bench_function(kernel, |b| {
+            b.iter(|| run_once(spec, kernel, None, SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+
+fn main() {
+    benches();
+    if let Err(e) = write_trajectory("BENCH_sim.json") {
+        eprintln!("BENCH_sim.json: {e}");
+    }
+}
+
+/// Wall-clock totals of `REPS` runs of one kernel at one operating point.
+struct Leg {
+    wall_s: f64,
+    ops: u64,
+    fault_samples: u64,
+    sram_events: u64,
+    completed: u32,
+}
+
+fn measure(spec: ChipSpec, kernel: &str, mv: Option<u32>) -> Leg {
+    let mut leg = Leg {
+        wall_s: 0.0,
+        ops: 0,
+        fault_samples: 0,
+        sram_events: 0,
+        completed: 0,
+    };
+    for rep in 0..REPS {
+        let t0 = Instant::now();
+        let record = run_once(spec, kernel, mv, SEED.wrapping_add(u64::from(rep)));
+        leg.wall_s += t0.elapsed().as_secs_f64();
+        if let Some(record) = record {
+            leg.ops += record.instructions;
+            leg.fault_samples += record.fault_samples;
+            leg.sram_events += (record.corrected_errors + record.uncorrected_errors) as u64;
+            leg.completed += 1;
+        }
+    }
+    leg
+}
+
+fn ops_per_s(leg: &Leg) -> f64 {
+    if leg.wall_s > 0.0 {
+        leg.ops as f64 / leg.wall_s
+    } else {
+        0.0
+    }
+}
+
+fn ns_per_op(leg: &Leg) -> f64 {
+    if leg.ops > 0 {
+        leg.wall_s * 1e9 / leg.ops as f64
+    } else {
+        0.0
+    }
+}
+
+/// Times the nominal and undervolted legs per kernel with a monotonic
+/// clock and writes the trajectory as one JSON object (hand-rendered:
+/// the payload is flat and the bench must not depend on serializer
+/// availability).
+fn write_trajectory(path: &str) -> std::io::Result<()> {
+    let spec = ChipSpec::new(Corner::Ttt, 0);
+    let mut entries = Vec::new();
+    for kernel in KERNELS {
+        let nominal = measure(spec, kernel, None);
+        let undervolt = measure(spec, kernel, Some(UNDERVOLT_MV));
+        let overhead_ns = ns_per_op(&undervolt) - ns_per_op(&nominal);
+        entries.push(format!(
+            "{{\"kernel\":\"{kernel}\",\
+              \"nominal\":{{\"wall_s\":{:.6},\"ops\":{},\"ops_per_s\":{:.1},\"completed\":{}}},\
+              \"undervolt\":{{\"wall_s\":{:.6},\"ops\":{},\"ops_per_s\":{:.1},\
+              \"fault_samples\":{},\"sram_events\":{},\"completed\":{}}},\
+              \"fault_path_overhead_ns_per_op\":{overhead_ns:.3}}}",
+            nominal.wall_s,
+            nominal.ops,
+            ops_per_s(&nominal),
+            nominal.completed,
+            undervolt.wall_s,
+            undervolt.ops,
+            ops_per_s(&undervolt),
+            undervolt.fault_samples,
+            undervolt.sram_events,
+            undervolt.completed,
+        ));
+    }
+    let body = format!(
+        "{{\"bench\":\"sim\",\"core\":{CORE},\"undervolt_mv\":{UNDERVOLT_MV},\"reps\":{REPS},\"kernels\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(path, body)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

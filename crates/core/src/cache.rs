@@ -702,7 +702,9 @@ mod tests {
             .build()
             .expect("valid config");
         let priors = cache.derive_priors("TTT#0", &config);
-        let prior = priors.get("bwaves", "ref", CoreId::new(0)).expect("prior derived");
+        let prior = priors
+            .get("bwaves", "ref", CoreId::new(0))
+            .expect("prior derived");
         // Highest abnormal voltage across seeds: the 895 SDC entry.
         assert_eq!(prior.vmin_mv, Some(895));
         // Highest crash voltage on the pmd rail: 880 (the soc entry at 910

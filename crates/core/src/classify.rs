@@ -133,6 +133,7 @@ mod tests {
             corrected_errors: ce,
             uncorrected_errors: ue,
             timing_faults: 0,
+            fault_samples: 0,
             silent_corruptions: 0,
             counters: CounterFile::new(),
             cycles: 1000,

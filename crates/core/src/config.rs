@@ -71,6 +71,11 @@ pub struct CampaignConfig {
     /// top-down sweep of the paper's massive campaign).
     #[serde(default)]
     pub search: SearchStrategy,
+    /// Whether traced executions also emit the deterministic work-accounting
+    /// profile ([`margins_trace::TraceEvent::ProfileSample`] per sweep plus
+    /// campaign-level [`margins_trace::TraceEvent::ProfilePhase`] rollups).
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl CampaignConfig {
@@ -108,6 +113,7 @@ pub struct CampaignConfigBuilder {
     rail: SweptRail,
     enhancements: Enhancements,
     search: SearchStrategy,
+    profile: bool,
 }
 
 impl Default for CampaignConfigBuilder {
@@ -129,6 +135,7 @@ impl Default for CampaignConfigBuilder {
             rail: SweptRail::Pmd,
             enhancements: Enhancements::stock(),
             search: SearchStrategy::Exhaustive,
+            profile: false,
         }
     }
 }
@@ -248,6 +255,15 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Enables the deterministic work-accounting profile on traced
+    /// executions (default off: streams stay byte-identical to pre-profile
+    /// campaigns).
+    #[must_use]
+    pub fn profile(mut self, yes: bool) -> Self {
+        self.profile = yes;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -306,6 +322,7 @@ impl CampaignConfigBuilder {
             rail: self.rail,
             enhancements: self.enhancements,
             search: self.search,
+            profile: self.profile,
         })
     }
 }

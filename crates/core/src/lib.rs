@@ -53,6 +53,7 @@ pub mod classify;
 pub mod config;
 pub mod dataset;
 pub mod effect;
+pub mod profile;
 pub mod regions;
 pub mod report;
 pub mod runner;

@@ -24,6 +24,7 @@ use crate::cache::{
 use crate::classify::{classify_run, ClassifiedRun};
 use crate::config::SweptRail;
 use crate::config::{BenchmarkRef, CampaignConfig};
+use crate::profile::{Phase, PhaseTallies};
 use crate::search::{SearchPlan, SearchPriors, SearchStrategy, StepVerdict};
 use crate::severity::SeverityWeights;
 use crate::watchdog::Watchdog;
@@ -234,6 +235,7 @@ impl Campaign {
         let mut power_cycles = 0u32;
         let mut fresh_goldens: Vec<(GoldenKey, GoldenEntry)> = Vec::new();
         let mut fresh_steps: Vec<(StepKey, StepEntry)> = Vec::new();
+        let mut campaign_profile = PhaseTallies::new();
         {
             // Workers read the cache as it was when the campaign started;
             // fresh results are collected by the merge loop and inserted
@@ -255,6 +257,7 @@ impl Campaign {
                 for (idx, item) in rx {
                     pending.insert(idx, item);
                     while let Some(ready) = pending.remove(&next) {
+                        campaign_profile.merge(&ready.profile);
                         for event in ready.events {
                             emit_record(&mut finalizer, sinks, event);
                         }
@@ -297,6 +300,13 @@ impl Campaign {
                 ))
         });
         if traced {
+            // Campaign epilogue: the per-phase work rollups precede the
+            // closing summary, aggregated in canonical item order.
+            if self.config.profile {
+                for event in campaign_profile.phase_events(items.len() as u64) {
+                    emit_record(&mut finalizer, sinks, event);
+                }
+            }
             let total = runs.len() as u64;
             emit_record(
                 &mut finalizer,
@@ -362,6 +372,14 @@ impl Campaign {
                 shard: *global_idx as u32,
             });
             let item = self.characterize_item(bench, *core, traced, &buffer, cache, priors);
+            if self.config.profile {
+                for event in item
+                    .profile
+                    .sample_events(&bench.name, bench.dataset.label(), *core)
+                {
+                    note(traced, &buffer, || event);
+                }
+            }
             note(traced, &buffer, || TraceEvent::SweepFinished {
                 program: bench.name.clone(),
                 dataset: bench.dataset.label().to_owned(),
@@ -376,6 +394,7 @@ impl Campaign {
                 power_cycles: item.power_cycles,
                 fresh_golden: item.fresh_golden,
                 fresh_steps: item.fresh_steps,
+                profile: item.profile,
             };
             // A closed receiver means the campaign was abandoned; nothing
             // useful remains to do with this item's result.
@@ -418,6 +437,11 @@ impl Campaign {
         let mut machine_probes = 0u32;
         let mut fresh_golden: Option<(GoldenKey, GoldenEntry)> = None;
         let mut fresh_steps: Vec<(StepKey, StepEntry)> = Vec::new();
+        // Work accounting is a pure function of the deterministic run
+        // records, so the tallies are identical across reruns and shard
+        // counts. Cached replays retain no ops/fault-sample counts, so a
+        // warm rerun legitimately reports less executed work.
+        let mut tallies = PhaseTallies::new();
 
         // Golden run at nominal conditions.
         let golden_key = GoldenKey {
@@ -432,6 +456,7 @@ impl Campaign {
         };
         let cached_golden = cache.and_then(|c| c.golden(&golden_key)).cloned();
         if cache.is_some() {
+            tallies.record_cache_probe();
             let hit = cached_golden.is_some();
             note(traced, buffer, || TraceEvent::CacheLookup {
                 program: bench.name.clone(),
@@ -465,6 +490,12 @@ impl Campaign {
                 record.outcome,
                 margins_sim::RunOutcome::Completed,
                 "golden run at nominal must complete"
+            );
+            tallies.record_run(
+                Phase::GoldenRun,
+                record.instructions,
+                record.fault_samples,
+                (record.corrected_errors + record.uncorrected_errors) as u64,
             );
             let golden = record.digest;
             note(traced, buffer, || TraceEvent::GoldenCaptured {
@@ -517,6 +548,7 @@ impl Campaign {
             };
             let cached_step = cache.and_then(|c| c.step(&step_key)).cloned();
             if cache.is_some() {
+                tallies.record_cache_probe();
                 let hit = cached_step.is_some();
                 note(traced, buffer, || TraceEvent::CacheLookup {
                     program: bench.name.clone(),
@@ -629,6 +661,16 @@ impl Campaign {
                     if system.is_responsive() {
                         self.restore_swept_rail(&mut system);
                     }
+                    tallies.record_run(
+                        if adaptive {
+                            Phase::SearchStep
+                        } else {
+                            Phase::Probe
+                        },
+                        record.instructions,
+                        record.fault_samples,
+                        (record.corrected_errors + record.uncorrected_errors) as u64,
+                    );
                     let classified = classify_run(
                         &record,
                         Some(golden),
@@ -706,12 +748,17 @@ impl Campaign {
                 cache_hits,
             });
         }
+        // `recoveries` counts fresh watchdog interventions plus replayed
+        // power cycles, so board-init work matches between cold and warm
+        // runs of the same campaign.
+        tallies.record_recoveries(u64::from(recoveries));
         ItemResult {
             golden,
             runs,
             power_cycles: watchdog.power_cycles() + cached_cycles,
             fresh_golden,
             fresh_steps,
+            profile: tallies,
         }
     }
 
@@ -860,6 +907,7 @@ struct TracedItem {
     power_cycles: u32,
     fresh_golden: Option<(GoldenKey, GoldenEntry)>,
     fresh_steps: Vec<(StepKey, StepEntry)>,
+    profile: PhaseTallies,
 }
 
 /// What one (benchmark, core) item produced, before trace packaging.
@@ -869,6 +917,7 @@ struct ItemResult {
     power_cycles: u32,
     fresh_golden: Option<(GoldenKey, GoldenEntry)>,
     fresh_steps: Vec<(StepKey, StepEntry)>,
+    profile: PhaseTallies,
 }
 
 /// Seals `event` into the canonical stream and fans it out to every sink.
@@ -1294,6 +1343,106 @@ mod tests {
         }
         margins_trace::Sink::finish(&mut replayed);
         assert_eq!(metered.to_openmetrics(), replayed.to_openmetrics());
+    }
+
+    #[test]
+    fn profiled_stream_is_byte_identical_serial_vs_sharded() {
+        let cfg = CampaignConfig::builder()
+            .benchmarks(["bwaves", "namd"])
+            .cores([CoreId::new(0), CoreId::new(4)])
+            .iterations(1)
+            .start_voltage(Millivolts::new(915))
+            .floor_voltage(Millivolts::new(895))
+            .seed(7)
+            .profile(true)
+            .build()
+            .unwrap();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+
+        let stream = |threads: usize| {
+            let mut jsonl = margins_trace::JsonlSink::new(Vec::new());
+            {
+                let mut sinks: [&mut dyn margins_trace::Sink; 1] = [&mut jsonl];
+                let _ = campaign.execute_traced(threads, &mut sinks);
+            }
+            String::from_utf8(jsonl.into_inner().expect("in-memory writer")).expect("utf8")
+        };
+
+        let serial = stream(1);
+        let sharded = stream(4);
+        let rerun = stream(1);
+        assert_eq!(
+            serial, sharded,
+            "profiled stream must not depend on shard count"
+        );
+        assert_eq!(
+            serial, rerun,
+            "profiled stream must be stable across reruns"
+        );
+
+        let stats = margins_trace::validate_jsonl(&serial).expect("valid profiled stream");
+        assert_eq!(stats.sweeps, 4);
+        assert_eq!(stats.profile_samples, 5 * 4, "five phases per sweep");
+        assert_eq!(stats.profile_phases, 5, "five campaign rollups");
+    }
+
+    #[test]
+    fn profile_rollups_aggregate_the_per_sweep_samples() {
+        let cfg = CampaignConfig::builder()
+            .benchmarks(["bwaves", "namd"])
+            .cores([CoreId::new(0)])
+            .iterations(2)
+            .start_voltage(Millivolts::new(915))
+            .floor_voltage(Millivolts::new(895))
+            .seed(7)
+            .profile(true)
+            .build()
+            .unwrap();
+        let campaign = Campaign::new(ChipSpec::new(Corner::Ttt, 0), cfg);
+        let mut memory = margins_trace::MemorySink::new();
+        {
+            let mut sinks: [&mut dyn margins_trace::Sink; 1] = [&mut memory];
+            let _ = campaign.execute_traced(1, &mut sinks);
+        }
+
+        let mut sampled: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        let mut rolled: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for record in &memory.records {
+            match &record.event {
+                TraceEvent::ProfileSample {
+                    phase,
+                    ops,
+                    fault_samples,
+                    ..
+                } => {
+                    let e = sampled.entry(phase.clone()).or_default();
+                    e.0 += ops;
+                    e.1 += fault_samples;
+                }
+                TraceEvent::ProfilePhase {
+                    phase,
+                    sweeps,
+                    ops,
+                    fault_samples,
+                    ..
+                } => {
+                    assert_eq!(*sweeps, 2);
+                    rolled.insert(phase.clone(), (*ops, *fault_samples));
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(sampled, rolled, "rollups must sum the per-sweep samples");
+
+        // An exhaustive sweep attributes step work to `probe`, none to
+        // `search_step`, and executes real instructions in both executed
+        // phases.
+        assert!(rolled["golden_run"].0 > 0);
+        assert!(rolled["probe"].0 > 0);
+        assert!(rolled["probe"].1 > 0, "deep probes draw fault samples");
+        assert_eq!(rolled["search_step"], (0, 0));
     }
 
     #[test]

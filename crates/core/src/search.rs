@@ -685,7 +685,8 @@ mod tests {
         );
         assert_eq!(p.len(), 1);
         assert_eq!(
-            p.get("bwaves", "ref", CoreId::new(0)).and_then(|i| i.vmin_mv),
+            p.get("bwaves", "ref", CoreId::new(0))
+                .and_then(|i| i.vmin_mv),
             Some(905)
         );
         assert_eq!(p.get("bwaves", "ref", CoreId::new(1)), None);

@@ -6,4 +6,6 @@ pub enum TraceEvent {
     SweepStarted { program: String, core: u8 },
     SweepFinished { program: String, runs: u32 },
     RunCompleted { program: String, mv: u32 },
+    ProfileSample { program: String, phase: String, ops: u64 },
+    ProfilePhase { phase: String, sweeps: u64, ops: u64 },
 }

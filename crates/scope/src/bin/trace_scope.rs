@@ -5,6 +5,8 @@
 //! trace-scope summary <file.jsonl | dir>... [--format md|json|csv] [--out FILE]
 //! trace-scope diff <A.jsonl> <B.jsonl> [--out FILE]
 //! trace-scope metrics <file.jsonl | dir>... [--out FILE]
+//! trace-scope profile <file.jsonl | dir>... [--format md|json] [--out FILE]
+//! trace-scope profile diff <A.jsonl> <B.jsonl> [--out FILE]
 //! ```
 //!
 //! * `summary` folds every stream into one report (markdown by default).
@@ -13,11 +15,14 @@
 //!   5 metrics drift, 6 outcome divergence (1 = read error, 2 = usage).
 //! * `metrics` replays the streams through the [`MetricsRegistry`] and
 //!   prints the OpenMetrics text exposition.
+//! * `profile` folds the profiling plane into a hotspot report; `profile
+//!   diff` compares the work accounting of two streams and exits 0
+//!   identical, 4 work drift, 5 phase divergence.
 //!
 //! All outputs are byte-deterministic functions of the input records.
 
-use margins_scope::{diff, markdown, summarize_records, DiffReport};
-use margins_trace::{collect_jsonl, read_jsonl, MetricsRegistry, Sink, TraceRecord};
+use margins_scope::{diff, markdown, profile, summarize_records, DiffReport};
+use margins_trace::{collect_jsonl, read_jsonl, reconstruct, MetricsRegistry, Sink, TraceRecord};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -31,7 +36,13 @@ commands:
       5 metrics drift, 6 outcome divergence
   metrics <file.jsonl | dir>... [--out FILE]
       replay the streams through the metrics registry and print the
-      OpenMetrics text exposition";
+      OpenMetrics text exposition
+  profile <file.jsonl | dir>... [--format md|json] [--out FILE]
+      fold the profiling plane into a hotspot report (phases and kernels
+      by work share, per-sweep probe cost, step-work attribution)
+  profile diff <A.jsonl> <B.jsonl> [--out FILE]
+      compare the work accounting of two streams; exit 0 identical,
+      4 work drift, 5 phase divergence";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +54,10 @@ fn main() -> ExitCode {
         "summary" => cmd_summary(rest),
         "diff" => cmd_diff(rest),
         "metrics" => cmd_metrics(rest),
+        "profile" => match rest.split_first() {
+            Some((sub, tail)) if sub == "diff" => cmd_profile_diff(tail),
+            _ => cmd_profile(rest),
+        },
         other => {
             eprintln!("trace-scope: unknown command '{other}'\n{USAGE}");
             ExitCode::from(2)
@@ -186,6 +201,80 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     // Exit codes 0/4/5/6 fit in a u8 on every supported platform.
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     ExitCode::from(report.class.exit_code() as u8)
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if !o.paths.is_empty() && o.format != "csv" => o,
+        Ok(o) if o.format == "csv" => {
+            eprintln!("trace-scope: profile reports render as md or json\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        Ok(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match profile_of_paths(&opts.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match opts.format.as_str() {
+        "json" => profile::json(&report),
+        _ => profile::markdown(&report),
+    };
+    match deliver(&rendered, opts.out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_profile_diff(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if o.paths.len() == 2 => o,
+        Ok(_) => {
+            eprintln!("trace-scope: profile diff takes exactly two paths\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (a, b) = match (
+        profile_of_paths(&opts.paths[..1]),
+        profile_of_paths(&opts.paths[1..]),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let divergence = profile::diff(&a, &b);
+    let rendered = format!("profile diff: {}\n", divergence.describe());
+    if let Err(e) = deliver(&rendered, opts.out.as_deref()) {
+        eprintln!("trace-scope: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::from(divergence.exit_code())
+}
+
+/// Reads, reconstructs and folds the profiling plane of the given paths.
+fn profile_of_paths(paths: &[String]) -> Result<profile::ProfileReport, String> {
+    let records = read_streams(paths)?;
+    let tree = reconstruct(&records).map_err(|e| e.to_string())?;
+    Ok(profile::report(&tree))
 }
 
 fn cmd_metrics(args: &[String]) -> ExitCode {

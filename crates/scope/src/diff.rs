@@ -229,11 +229,13 @@ fn strip_schedule(record: &TraceRecord) -> TraceRecord {
 }
 
 /// One campaign in scheduling-independent form: header, schedule as a
-/// sorted multiset, sweeps in grid order, decisions and close.
+/// sorted multiset, sweeps in grid order, decisions, profile rollups and
+/// close.
 type CanonicalCampaign = (
     TraceRecord,
     Vec<TraceRecord>,
     Vec<(TraceRecord, Vec<TraceRecord>, TraceRecord)>,
+    Vec<TraceRecord>,
     Vec<TraceRecord>,
     TraceRecord,
 );
@@ -262,6 +264,7 @@ fn canonicalize(tree: &SpanTree) -> (Vec<CanonicalCampaign>, Vec<TraceRecord>) {
                 schedule,
                 sweeps,
                 c.decisions.iter().map(strip_schedule).collect(),
+                c.profile.iter().map(strip_schedule).collect(),
                 strip_schedule(&c.finished),
             )
         })

@@ -17,17 +17,23 @@
 //!   reordering / metrics drift / outcome divergence) and pinpoints the
 //!   first diverging record with its enclosing span path, with a distinct
 //!   exit code per class for CI gating.
+//! * [`profile`] — the campaign profiling plane folded into hotspot
+//!   reports (top phases and kernels by work share, per-sweep probe cost,
+//!   step-work attribution) plus a work-accounting differ with its own
+//!   CI exit codes.
 //!
-//! The `trace-scope` binary exposes all three over the command line.
+//! The `trace-scope` binary exposes all four over the command line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod profile;
 pub mod render;
 pub mod summary;
 
 pub use diff::{diff, DiffReport, Divergence, DivergenceClass};
+pub use profile::{PhaseWork, ProfileDivergence, ProfileReport, SweepProfile};
 pub use render::{csv, json, markdown};
 pub use summary::{
     summarize, summarize_records, summarize_str, CampaignSummary, DecisionSummary, RecoveryStorm,

@@ -198,9 +198,12 @@ impl CounterFile {
         }
     }
 
-    /// Adds `n` to the counter for `event`.
+    /// Adds `n` to the counter for `event`, saturating at `u64::MAX` —
+    /// hardware counter files pin rather than wrap, and a wrapped count
+    /// would silently corrupt every rate and profile derived from it.
     pub fn add(&mut self, event: PmuEvent, n: u64) {
-        self.counts[event.index()] += n;
+        let c = &mut self.counts[event.index()];
+        *c = c.saturating_add(n);
     }
 
     /// Increments the counter for `event` by one.
@@ -224,10 +227,11 @@ impl CounterFile {
         self.get(numerator) as f64 / d as f64
     }
 
-    /// Accumulates another counter file into this one.
+    /// Accumulates another counter file into this one, saturating at
+    /// `u64::MAX` per counter.
     pub fn merge(&mut self, other: &CounterFile) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 
@@ -331,6 +335,21 @@ mod tests {
 
         c.reset();
         assert!(c.iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn add_and_merge_saturate_instead_of_wrapping() {
+        let mut c = CounterFile::new();
+        c.add(PmuEvent::CpuCycles, u64::MAX - 1);
+        c.add(PmuEvent::CpuCycles, 5);
+        assert_eq!(c[PmuEvent::CpuCycles], u64::MAX);
+
+        let mut d = CounterFile::new();
+        d.add(PmuEvent::CpuCycles, u64::MAX);
+        d.add(PmuEvent::InstRetired, 3);
+        c.merge(&d);
+        assert_eq!(c[PmuEvent::CpuCycles], u64::MAX);
+        assert_eq!(c[PmuEvent::InstRetired], 3);
     }
 
     #[test]

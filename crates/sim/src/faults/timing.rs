@@ -167,6 +167,9 @@ pub struct TimingFaultModel {
     /// Total stress mass accumulated this run (diagnostics / calibration).
     stress_mass: f64,
     faults_fired: u32,
+    /// Poisson accounting events drawn this run (one per `on_op`/`on_burst`
+    /// call) — the fault model's unit of work for profiling.
+    samples: u64,
 }
 
 impl TimingFaultModel {
@@ -184,6 +187,7 @@ impl TimingFaultModel {
             budget: draw_exponential(rng),
             stress_mass: 0.0,
             faults_fired: 0,
+            samples: 0,
         };
         model.refresh(0.0, 0.0);
         model
@@ -213,6 +217,7 @@ impl TimingFaultModel {
     /// Accounts one executed op; returns the consequence if a fault fires.
     pub fn on_op(&mut self, class: OpClass, rng: &mut StdRng) -> Option<FaultConsequence> {
         let lambda = self.lambda[class.index()];
+        self.samples += 1;
         self.stress_mass += class.stress_weight();
         self.accum += lambda;
         if self.accum < self.budget {
@@ -234,6 +239,7 @@ impl TimingFaultModel {
         rng: &mut StdRng,
     ) -> Option<FaultConsequence> {
         let lambda = self.lambda[class.index()];
+        self.samples += 1;
         self.stress_mass += class.stress_weight() * f64::from(n);
         self.accum += lambda * f64::from(n);
         if self.accum < self.budget {
@@ -285,6 +291,12 @@ impl TimingFaultModel {
     #[must_use]
     pub fn faults_fired(&self) -> u32 {
         self.faults_fired
+    }
+
+    /// Number of Poisson accounting events drawn so far this run.
+    #[must_use]
+    pub fn samples_drawn(&self) -> u64 {
+        self.samples
     }
 
     /// The effective critical voltage this model was built with.
@@ -445,5 +457,6 @@ mod tests {
             let _ = m.on_op(OpClass::FpDiv, &mut r);
         }
         assert!((m.stress_mass() - 30.0).abs() < 1e-9);
+        assert_eq!(m.samples_drawn(), 10);
     }
 }

@@ -92,6 +92,8 @@ pub struct MachineReport {
     pub instructions: u64,
     /// Timing faults that fired.
     pub timing_faults: u32,
+    /// Poisson accounting events the fault model drew (profiling work unit).
+    pub fault_samples: u64,
     /// Silent single-value corruptions applied (SDC seeds).
     pub silent_corruptions: u32,
     /// Timing faults caught and retried by the §6b detectors (enhanced
@@ -919,6 +921,7 @@ impl<'a> Machine<'a> {
             cycles,
             instructions,
             timing_faults: self.timing.faults_fired(),
+            fault_samples: self.timing.samples_drawn(),
             silent_corruptions: self.silent_corruptions,
             detected_faults: self.detected_faults,
             stress_mass: self.timing.stress_mass(),

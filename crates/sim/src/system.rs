@@ -97,6 +97,10 @@ pub struct RunRecord {
     pub uncorrected_errors: usize,
     /// Timing faults injected (omniscient-simulator diagnostic).
     pub timing_faults: u32,
+    /// Poisson accounting events the fault model drew — the fault path's
+    /// unit of work for profiling. Absent in pre-profile serialized records.
+    #[serde(default)]
+    pub fault_samples: u64,
     /// Silent value corruptions applied (omniscient diagnostic).
     pub silent_corruptions: u32,
     /// PMU counters of the run.
@@ -376,6 +380,7 @@ impl System {
             corrected_errors: ce,
             uncorrected_errors: ue,
             timing_faults: report.timing_faults,
+            fault_samples: report.fault_samples,
             silent_corruptions: report.silent_corruptions,
             counters: report.counters,
             cycles: report.cycles,

@@ -42,10 +42,20 @@ fn main() -> ExitCode {
             }
         };
         match margins_trace::validate_jsonl(&text) {
-            Ok(stats) => println!(
-                "ok   {shown} ({} records, {} campaigns, {} sweeps, {} runs, {} power cycles)",
-                stats.records, stats.campaigns, stats.sweeps, stats.runs, stats.power_cycles
-            ),
+            Ok(stats) => {
+                let profiled = if stats.profile_samples + stats.profile_phases > 0 {
+                    format!(
+                        ", {} profile samples, {} phase rollups",
+                        stats.profile_samples, stats.profile_phases
+                    )
+                } else {
+                    String::new()
+                };
+                println!(
+                    "ok   {shown} ({} records, {} campaigns, {} sweeps, {} runs, {} power cycles{profiled})",
+                    stats.records, stats.campaigns, stats.sweeps, stats.runs, stats.power_cycles
+                );
+            }
             Err(e) => {
                 println!("FAIL {shown}: {e}");
                 failed += 1;

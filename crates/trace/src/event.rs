@@ -195,6 +195,31 @@ pub enum TraceEvent {
         /// Consecutive all-system-crash steps that triggered the stop.
         consecutive_all_sc: u32,
     },
+    /// Deterministic work-accounting sample for one pipeline phase of a
+    /// sweep (profile plane 1). Counts *modelled* units of work — never
+    /// wall-clock time, which lives in the opt-in timing sidecar so the
+    /// stream stays byte-deterministic.
+    ProfileSample {
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// Pipeline phase: `board_init`, `golden_run`, `probe`,
+        /// `search_step` or `cache_lookup`.
+        phase: String,
+        /// Kernel ops retired by the simulator in this phase.
+        ops: u64,
+        /// Fault-model samples drawn while executing this phase.
+        fault_samples: u64,
+        /// SRAM/ECC error events observed in this phase.
+        sram_events: u64,
+        /// Campaign-cache probes attributed to this phase.
+        cache_probes: u64,
+        /// Watchdog recoveries attributed to this phase.
+        recoveries: u64,
+    },
     /// A (benchmark, core) sweep finished.
     SweepFinished {
         /// Benchmark name.
@@ -205,6 +230,26 @@ pub enum TraceEvent {
         core: u8,
         /// Classified runs the sweep produced.
         runs: u32,
+    },
+    /// Campaign-level rollup of one pipeline phase's deterministic work
+    /// counts, aggregated over every sweep in canonical item order
+    /// (profile plane 1).
+    ProfilePhase {
+        /// Pipeline phase: `board_init`, `golden_run`, `probe`,
+        /// `search_step` or `cache_lookup`.
+        phase: String,
+        /// Sweeps that contributed any work to the phase.
+        sweeps: u64,
+        /// Kernel ops retired by the simulator in this phase.
+        ops: u64,
+        /// Fault-model samples drawn while executing this phase.
+        fault_samples: u64,
+        /// SRAM/ECC error events observed in this phase.
+        sram_events: u64,
+        /// Campaign-cache probes attributed to this phase.
+        cache_probes: u64,
+        /// Watchdog recoveries attributed to this phase.
+        recoveries: u64,
     },
     /// The campaign finished.
     CampaignFinished {
@@ -246,7 +291,9 @@ impl TraceEvent {
             TraceEvent::CacheLookup { .. } => "CacheLookup",
             TraceEvent::SearchConcluded { .. } => "SearchConcluded",
             TraceEvent::EarlyStop { .. } => "EarlyStop",
+            TraceEvent::ProfileSample { .. } => "ProfileSample",
             TraceEvent::SweepFinished { .. } => "SweepFinished",
+            TraceEvent::ProfilePhase { .. } => "ProfilePhase",
             TraceEvent::CampaignFinished { .. } => "CampaignFinished",
             TraceEvent::VoltageDecision { .. } => "VoltageDecision",
         }
@@ -421,6 +468,44 @@ impl TraceEvent {
                 put_u64(map, "core", u64::from(*core));
                 put_u64(map, "mv", u64::from(*mv));
                 put_u64(map, "consecutive_all_sc", u64::from(*consecutive_all_sc));
+            }
+            TraceEvent::ProfileSample {
+                program,
+                dataset,
+                core,
+                phase,
+                ops,
+                fault_samples,
+                sram_events,
+                cache_probes,
+                recoveries,
+            } => {
+                put_str(map, "program", program);
+                put_str(map, "dataset", dataset);
+                put_u64(map, "core", u64::from(*core));
+                put_str(map, "phase", phase);
+                put_u64(map, "ops", *ops);
+                put_u64(map, "fault_samples", *fault_samples);
+                put_u64(map, "sram_events", *sram_events);
+                put_u64(map, "cache_probes", *cache_probes);
+                put_u64(map, "recoveries", *recoveries);
+            }
+            TraceEvent::ProfilePhase {
+                phase,
+                sweeps,
+                ops,
+                fault_samples,
+                sram_events,
+                cache_probes,
+                recoveries,
+            } => {
+                put_str(map, "phase", phase);
+                put_u64(map, "sweeps", *sweeps);
+                put_u64(map, "ops", *ops);
+                put_u64(map, "fault_samples", *fault_samples);
+                put_u64(map, "sram_events", *sram_events);
+                put_u64(map, "cache_probes", *cache_probes);
+                put_u64(map, "recoveries", *recoveries);
             }
             TraceEvent::SweepFinished {
                 program,

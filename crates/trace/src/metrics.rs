@@ -355,6 +355,31 @@ impl Sink for MetricsRegistry {
                 self.incr("search_grid_steps", u64::from(*grid_steps));
             }
             TraceEvent::EarlyStop { .. } => self.incr("early_stops", 1),
+            TraceEvent::ProfileSample {
+                phase,
+                ops,
+                fault_samples,
+                sram_events,
+                cache_probes,
+                recoveries,
+                ..
+            } => {
+                self.incr("profile_samples", 1);
+                self.incr(&format!("profile_{phase}_ops"), *ops);
+                self.incr(&format!("profile_{phase}_fault_samples"), *fault_samples);
+                self.incr(&format!("profile_{phase}_sram_events"), *sram_events);
+                self.incr(&format!("profile_{phase}_cache_probes"), *cache_probes);
+                self.incr(&format!("profile_{phase}_recoveries"), *recoveries);
+            }
+            TraceEvent::ProfilePhase {
+                ops, fault_samples, ..
+            } => {
+                // Rollups of the per-sweep samples: only the campaign-wide
+                // totals are kept, the per-phase shares live in the samples.
+                self.incr("profile_phases", 1);
+                self.incr("profile_ops", *ops);
+                self.incr("profile_fault_samples", *fault_samples);
+            }
             TraceEvent::SweepFinished { .. } => self.flush_step(),
             TraceEvent::CampaignFinished { .. } => self.flush_step(),
             TraceEvent::VoltageDecision { .. } => self.incr("governor_decisions", 1),

@@ -207,11 +207,31 @@ fn event_schema(event: &str) -> Option<&'static [(&'static str, FieldKind)]> {
             ("mv", U32),
             ("consecutive_all_sc", U32),
         ],
+        "ProfileSample" => &[
+            ("program", Str),
+            ("dataset", Str),
+            ("core", U8),
+            ("phase", Str),
+            ("ops", U64),
+            ("fault_samples", U64),
+            ("sram_events", U64),
+            ("cache_probes", U64),
+            ("recoveries", U64),
+        ],
         "SweepFinished" => &[
             ("program", Str),
             ("dataset", Str),
             ("core", U8),
             ("runs", U32),
+        ],
+        "ProfilePhase" => &[
+            ("phase", Str),
+            ("sweeps", U64),
+            ("ops", U64),
+            ("fault_samples", U64),
+            ("sram_events", U64),
+            ("cache_probes", U64),
+            ("recoveries", U64),
         ],
         "CampaignFinished" => &[("runs", U64), ("power_cycles", U32)],
         "VoltageDecision" => &[
@@ -448,11 +468,31 @@ fn decode_event(name: &str, obj: &Obj<'_>) -> Result<TraceEvent, Fail> {
             mv: obj.u32("mv")?,
             consecutive_all_sc: obj.u32("consecutive_all_sc")?,
         },
+        "ProfileSample" => TraceEvent::ProfileSample {
+            program: obj.str("program")?,
+            dataset: obj.str("dataset")?,
+            core: obj.u8("core")?,
+            phase: obj.str("phase")?,
+            ops: obj.u64("ops")?,
+            fault_samples: obj.u64("fault_samples")?,
+            sram_events: obj.u64("sram_events")?,
+            cache_probes: obj.u64("cache_probes")?,
+            recoveries: obj.u64("recoveries")?,
+        },
         "SweepFinished" => TraceEvent::SweepFinished {
             program: obj.str("program")?,
             dataset: obj.str("dataset")?,
             core: obj.u8("core")?,
             runs: obj.u32("runs")?,
+        },
+        "ProfilePhase" => TraceEvent::ProfilePhase {
+            phase: obj.str("phase")?,
+            sweeps: obj.u64("sweeps")?,
+            ops: obj.u64("ops")?,
+            fault_samples: obj.u64("fault_samples")?,
+            sram_events: obj.u64("sram_events")?,
+            cache_probes: obj.u64("cache_probes")?,
+            recoveries: obj.u64("recoveries")?,
         },
         "CampaignFinished" => TraceEvent::CampaignFinished {
             runs: obj.u64("runs")?,
@@ -583,6 +623,26 @@ mod tests {
                 relative_performance: 1.0,
                 energy_savings: 0.15,
             },
+            TraceEvent::ProfileSample {
+                program: "bwaves".into(),
+                dataset: "ref".into(),
+                core: 0,
+                phase: "probe".into(),
+                ops: u64::MAX,
+                fault_samples: 12,
+                sram_events: 3,
+                cache_probes: 0,
+                recoveries: 1,
+            },
+            TraceEvent::ProfilePhase {
+                phase: "probe".into(),
+                sweeps: 2,
+                ops: u64::MAX,
+                fault_samples: 24,
+                sram_events: 6,
+                cache_probes: 0,
+                recoveries: 2,
+            },
         ]
     }
 
@@ -599,7 +659,7 @@ mod tests {
     #[test]
     fn schema_matches_every_serialized_variant() {
         let samples = sample_events();
-        assert_eq!(samples.len(), 16, "add new variants to sample_events()");
+        assert_eq!(samples.len(), 18, "add new variants to sample_events()");
         for event in samples {
             let name = event.name();
             let schema = event_schema(name).unwrap_or_else(|| panic!("no schema for {name}"));
@@ -665,8 +725,8 @@ mod tests {
         let mut text = render(sample_events());
         text.push('\n'); // a trailing blank line after the final newline
         let err = read_jsonl(&text).expect_err("must fail");
-        assert_eq!(err.line, 17);
-        assert_eq!(err.event_index, 16);
+        assert_eq!(err.line, 19);
+        assert_eq!(err.event_index, 18);
         assert!(err.message.contains("empty line"), "{err}");
     }
 
@@ -725,8 +785,8 @@ mod tests {
         let mut text = render(sample_events());
         text.push_str("{\"broken\":true}\n");
         let err = read_jsonl(&text).expect_err("trailing corruption");
-        assert_eq!(err.line, 17);
-        assert_eq!(err.event_index, 16);
+        assert_eq!(err.line, 19);
+        assert_eq!(err.event_index, 18);
     }
 
     #[test]

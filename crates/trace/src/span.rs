@@ -55,6 +55,8 @@ pub struct CampaignSpan {
     pub sweeps: Vec<SweepSpan>,
     /// Campaign-scoped records outside any sweep (governor decisions).
     pub decisions: Vec<TraceRecord>,
+    /// Campaign-scoped `ProfilePhase` rollups, in stream order.
+    pub profile: Vec<TraceRecord>,
     /// The `CampaignFinished` record.
     pub finished: TraceRecord,
 }
@@ -105,7 +107,10 @@ impl CampaignSpan {
     #[must_use]
     pub fn records(&self) -> u64 {
         let sweep_records: u64 = self.sweeps.iter().map(|s| s.leaves.len() as u64 + 2).sum();
-        2 + self.schedule.len() as u64 + self.decisions.len() as u64 + sweep_records
+        2 + self.schedule.len() as u64
+            + self.decisions.len() as u64
+            + self.profile.len() as u64
+            + sweep_records
     }
 }
 
@@ -183,6 +188,7 @@ pub fn reconstruct(records: &[TraceRecord]) -> Result<SpanTree, SpanError> {
                         schedule: Vec::new(),
                         sweeps: Vec::new(),
                         decisions: Vec::new(),
+                        profile: Vec::new(),
                         finished: record.clone(),
                     },
                 });
@@ -247,9 +253,14 @@ pub fn reconstruct(records: &[TraceRecord]) -> Result<SpanTree, SpanError> {
             | TraceEvent::SearchStep { .. }
             | TraceEvent::CacheLookup { .. }
             | TraceEvent::SearchConcluded { .. }
-            | TraceEvent::EarlyStop { .. } => match &mut sweep {
+            | TraceEvent::EarlyStop { .. }
+            | TraceEvent::ProfileSample { .. } => match &mut sweep {
                 Some(open) => open.leaves.push(record.clone()),
                 None => return Err(violation("sweep-scoped event outside a sweep")),
+            },
+            TraceEvent::ProfilePhase { .. } => match (&mut campaign, &sweep) {
+                (Some(open), None) => open.span.profile.push(record.clone()),
+                _ => return Err(violation("ProfilePhase outside the campaign epilogue")),
             },
             TraceEvent::VoltageDecision { .. } => match (&mut campaign, &mut sweep) {
                 (_, Some(open)) => open.leaves.push(record.clone()),

@@ -30,6 +30,10 @@ pub struct StreamStats {
     pub runs: u64,
     /// Watchdog power cycles.
     pub power_cycles: u64,
+    /// Per-sweep profile samples.
+    pub profile_samples: u64,
+    /// Campaign-level profile phase rollups.
+    pub profile_phases: u64,
 }
 
 /// A structural violation, with the 1-based line it occurred on.
@@ -153,6 +157,8 @@ pub fn validate_records(records: &[TraceRecord]) -> Result<StreamStats, StreamEr
         match &record.event {
             TraceEvent::RunCompleted { .. } => stats.runs += 1,
             TraceEvent::WatchdogPowerCycle { .. } => stats.power_cycles += 1,
+            TraceEvent::ProfileSample { .. } => stats.profile_samples += 1,
+            TraceEvent::ProfilePhase { .. } => stats.profile_phases += 1,
             _ => {}
         }
     }
@@ -247,6 +253,69 @@ mod tests {
         assert_eq!(stats.campaigns, 1);
         assert_eq!(stats.sweeps, 1);
         assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn profiled_stream_validates_and_counts_profile_records() {
+        let text = render(vec![
+            campaign_started(),
+            sweep_started(),
+            run(),
+            TraceEvent::ProfileSample {
+                program: "namd".into(),
+                dataset: "ref".into(),
+                core: 4,
+                phase: "probe".into(),
+                ops: 1234,
+                fault_samples: 56,
+                sram_events: 0,
+                cache_probes: 0,
+                recoveries: 0,
+            },
+            sweep_finished(),
+            TraceEvent::ProfilePhase {
+                phase: "probe".into(),
+                sweeps: 1,
+                ops: 1234,
+                fault_samples: 56,
+                sram_events: 0,
+                cache_probes: 0,
+                recoveries: 0,
+            },
+            TraceEvent::CampaignFinished {
+                runs: 1,
+                power_cycles: 0,
+            },
+        ]);
+        let stats = validate_jsonl(&text).expect("valid profiled stream");
+        assert_eq!(stats.records, 7);
+        assert_eq!(stats.profile_samples, 1);
+        assert_eq!(stats.profile_phases, 1);
+    }
+
+    #[test]
+    fn profile_phase_outside_the_campaign_epilogue_is_rejected() {
+        let rollup = TraceEvent::ProfilePhase {
+            phase: "probe".into(),
+            sweeps: 1,
+            ops: 1,
+            fault_samples: 0,
+            sram_events: 0,
+            cache_probes: 0,
+            recoveries: 0,
+        };
+        let text = render(vec![
+            campaign_started(),
+            sweep_started(),
+            rollup,
+            sweep_finished(),
+            TraceEvent::CampaignFinished {
+                runs: 0,
+                power_cycles: 0,
+            },
+        ]);
+        let err = validate_jsonl(&text).expect_err("rollup inside a sweep");
+        assert!(err.to_string().contains("epilogue"), "{err}");
     }
 
     #[test]

@@ -72,7 +72,12 @@ common options:
   --trace FILE              write the deterministic JSONL telemetry stream
   --metrics-out FILE        write the OpenMetrics text exposition of the
                             campaign metrics registry (deterministic)
-  --progress                (characterize) live sweep progress on stderr";
+  --progress                (characterize) live sweep progress on stderr
+  --profile                 (characterize) attribute work units to pipeline
+                            phases; emits deterministic ProfileSample /
+                            ProfilePhase records into the trace stream
+  --profile-timing FILE     (characterize) write a wall-clock timing sidecar;
+                            host time never enters traces, CSVs or metrics";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut opts = Options::parse(args)?;
@@ -99,7 +104,7 @@ struct Options {
 
 impl Options {
     /// Flags that take no value argument.
-    const BOOLEAN_FLAGS: [&'static str; 1] = ["progress"];
+    const BOOLEAN_FLAGS: [&'static str; 2] = ["progress", "profile"];
 
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut it = args.iter();
@@ -197,6 +202,7 @@ fn build_config(opts: &Options) -> Result<CampaignConfig, String> {
         .rail(rail)
         .seed(opts.parse_num("seed", 0xCAFE_BABEu64)?)
         .search(search)
+        .profile(opts.flags.contains_key("profile"))
         .build()
         .map_err(|e| e.to_string())
 }
@@ -215,7 +221,11 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
     let trace_path = opts.flags.get("trace").cloned();
     let metrics_out = opts.flags.get("metrics-out").cloned();
     let progress = opts.flags.contains_key("progress");
-    let traced = trace_path.is_some() || progress || metrics_out.is_some();
+    let profiling = opts.flags.contains_key("profile");
+    let timing_path = opts.flags.get("profile-timing").cloned();
+    // Profiling emits its records into the trace stream, so it implies an
+    // observed (traced) execution even without an explicit sink.
+    let traced = trace_path.is_some() || progress || metrics_out.is_some() || profiling;
 
     let mut jsonl = match &trace_path {
         Some(path) => {
@@ -242,6 +252,10 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
     };
 
     let campaign = Campaign::new(spec, config);
+    // The timing plane is wall-clock by definition and lives only in its
+    // opt-in sidecar file: it never reaches the JSONL stream, the CSV
+    // exports or the OpenMetrics exposition, which stay deterministic.
+    let campaign_started = timing_path.as_ref().map(|_| std::time::Instant::now());
     let (outcome, metrics) = if traced {
         let mut sinks: Vec<&mut dyn Sink> = Vec::new();
         if let Some(sink) = progress_sink.as_mut() {
@@ -256,7 +270,12 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         let outcome = campaign.execute_with(threads, &mut [], cache.as_mut(), None);
         (outcome, MetricsRegistry::new())
     };
+    let campaign_wall_s = campaign_started.map(|t| t.elapsed().as_secs_f64());
     let result = analyze(&outcome, &SeverityWeights::paper());
+    if let (Some(path), Some(campaign_wall_s)) = (&timing_path, campaign_wall_s) {
+        write_timing_sidecar(path, campaign_wall_s, &outcome)?;
+        eprintln!("wrote wall-clock timing sidecar to {path}");
+    }
 
     // Region bands per benchmark.
     let mut names: Vec<String> = result.summaries.iter().map(|s| s.program.clone()).collect();
@@ -304,6 +323,33 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Writes the opt-in wall-clock timing sidecar.
+///
+/// This is the only place host time is allowed to land on disk; the
+/// deterministic outputs (JSONL traces, CSVs, OpenMetrics) never carry
+/// it, so they stay byte-identical across reruns while the sidecar is
+/// free to vary with the machine.
+fn write_timing_sidecar(
+    path: &str,
+    campaign_wall_s: f64,
+    outcome: &voltmargin::characterize::runner::CampaignOutcome,
+) -> Result<(), String> {
+    let runs = outcome.runs.len();
+    let runs_per_s = if campaign_wall_s > 0.0 {
+        runs as f64 / campaign_wall_s
+    } else {
+        0.0
+    };
+    let body = format!(
+        "# voltmargin wall-clock timing sidecar\n\
+         # Host-time measurements only; never part of deterministic outputs.\n\
+         campaign_wall_s={campaign_wall_s:.6}\n\
+         runs={runs}\n\
+         runs_per_wall_s={runs_per_s:.3}\n"
+    );
+    std::fs::write(path, body).map_err(|e| format!("--profile-timing {path}: {e}"))
 }
 
 fn profile_cmd(opts: &mut Options) -> Result<(), String> {
