@@ -2,6 +2,7 @@
 
 use crate::scale::Scale;
 use margins_core::config::CampaignConfig;
+use margins_core::exec::{ExecContext, ThreadPoolExecutor};
 use margins_core::regions::{analyze, CharacterizationResult};
 use margins_core::runner::Campaign;
 use margins_core::severity::SeverityWeights;
@@ -40,7 +41,17 @@ pub fn characterize_chip_traced(
         .seed(0xF164)
         .build()
         .expect("figure-4 configuration is valid");
-    let outcome = Campaign::new(spec, config).execute_traced(scale.threads, sinks);
+    // Drive the unified run path directly; the pool clamps like the old
+    // `execute_traced` shim, and the trace stream is executor-invariant.
+    let outcome = Campaign::new(spec, config)
+        .run(
+            &ThreadPoolExecutor::clamped(scale.threads),
+            ExecContext {
+                sinks,
+                ..ExecContext::new()
+            },
+        )
+        .expect("built-in executors uphold the delivery contract");
     ChipCharacterization {
         spec,
         result: analyze(&outcome, &SeverityWeights::paper()),

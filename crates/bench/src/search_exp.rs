@@ -15,12 +15,13 @@
 
 use crate::scale::Scale;
 use margins_core::config::CampaignConfig;
+use margins_core::exec::{ExecContext, ThreadPoolExecutor};
 use margins_core::regions::{analyze, CharacterizationResult, RegionKind, SweepSummary};
 use margins_core::runner::Campaign;
 use margins_core::search::{ItemPrior, SearchPriors, SearchStrategy};
 use margins_core::severity::SeverityWeights;
 use margins_sim::{ChipSpec, Millivolts};
-use margins_trace::{MetricsRegistry, Sink};
+use margins_trace::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// One strategy's campaign, analyzed, with its probe-count telemetry.
@@ -69,10 +70,19 @@ pub fn run_config(
     let grid_steps = u64::from(grid_per_item) * items;
     let campaign = Campaign::new(spec, config);
     let mut metrics = MetricsRegistry::new();
-    let outcome = {
-        let mut sinks: Vec<&mut dyn Sink> = vec![&mut metrics];
-        campaign.execute_with(threads, &mut sinks, None, priors)
-    };
+    // Attach the registry through `ExecContext` instead of disguising it
+    // as a trace sink: the unified run path folds it into the finalized
+    // stream exactly like `execute_metered` does.
+    let outcome = campaign
+        .run(
+            &ThreadPoolExecutor::clamped(threads),
+            ExecContext {
+                metrics: Some(&mut metrics),
+                priors,
+                ..ExecContext::new()
+            },
+        )
+        .expect("built-in executors uphold the delivery contract");
     StrategyRun {
         strategy,
         machine_steps: metrics.counter("voltage_steps"),

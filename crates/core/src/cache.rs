@@ -22,9 +22,11 @@ use crate::effect::EffectSet;
 use crate::search::{ItemPrior, SearchPriors};
 use margins_sim::{CoreId, Enhancements};
 use margins_trace::json;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Identifies one step probe: every coordinate its outcome depends on.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -448,6 +450,219 @@ impl CampaignCache {
             message: e.to_string(),
         })
     }
+
+    /// Compacts a cache file in place: parses it (later duplicates of a
+    /// [`StepKey`]/[`GoldenKey`] supersede earlier ones, exactly as
+    /// [`CampaignCache::from_jsonl`] resolves them on every load) and
+    /// rewrites it in canonical serialized form — goldens first, key
+    /// order, no superseded lines. Idempotent: compacting an
+    /// already-compact file leaves it byte-identical and untouched on
+    /// disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the file is missing or unreadable (unlike
+    /// [`CampaignCache::load`], a missing file is an error here — there is
+    /// nothing to compact), [`CacheError::Corrupt`] when a line does not
+    /// parse.
+    pub fn compact_file(path: impl AsRef<Path>) -> Result<CompactionStats, CacheError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| CacheError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let cache = CampaignCache::from_jsonl(&text)?;
+        let compacted = cache.to_jsonl();
+        let stats = CompactionStats {
+            lines_before: text.lines().count(),
+            lines_after: compacted.lines().count(),
+            rewritten: compacted != text,
+        };
+        if stats.rewritten {
+            std::fs::write(path, compacted).map_err(|e| CacheError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(stats)
+    }
+}
+
+/// What [`CampaignCache::compact_file`] did to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Lines in the file before compaction.
+    pub lines_before: usize,
+    /// Lines after compaction (records surviving deduplication).
+    pub lines_after: usize,
+    /// Whether the file was rewritten (false when already canonical).
+    pub rewritten: bool,
+}
+
+impl CompactionStats {
+    /// Superseded lines dropped by the compaction.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.lines_before.saturating_sub(self.lines_after)
+    }
+}
+
+/// Fresh results appended to a [`SharedCampaignCache`] since its last
+/// publish, in append order.
+#[derive(Debug, Default)]
+struct CacheLog {
+    goldens: Vec<(GoldenKey, GoldenEntry)>,
+    steps: Vec<(StepKey, StepEntry)>,
+}
+
+impl CacheLog {
+    fn is_empty(&self) -> bool {
+        self.goldens.is_empty() && self.steps.is_empty()
+    }
+}
+
+/// A concurrently shareable [`CampaignCache`]: several campaigns may look
+/// up and contribute results against one store at the same time.
+///
+/// # Concurrency model
+///
+/// The store is a published immutable snapshot (`Arc<CampaignCache>`)
+/// plus an append log of fresh results:
+///
+/// * **Reads never block on writes.** [`SharedCampaignCache::snapshot`]
+///   clones the `Arc` — campaigns then probe their snapshot lock-free for
+///   their entire run. A campaign's lookups are fixed at its start, so
+///   its results are independent of what sibling campaigns publish
+///   mid-run (the same schedule-independence the single-campaign path
+///   guarantees).
+/// * **Writes append.** [`SharedCampaignCache::append_golden`] /
+///   [`SharedCampaignCache::append_step`] push onto the log;
+///   [`SharedCampaignCache::publish`] folds the log into a new snapshot.
+///   Appends from concurrent campaigns interleave arbitrarily, but the
+///   fold lands in [`BTreeMap`]s — identical coordinates produce
+///   identical entries (probes are pure functions of their keys), so the
+///   published cache, and therefore the saved JSONL, is byte-deterministic
+///   regardless of completion order.
+///
+/// Serialization ([`SharedCampaignCache::to_jsonl`] /
+/// [`SharedCampaignCache::save`]) publishes pending appends first and then
+/// emits the snapshot's canonical JSONL — byte-identical to what a plain
+/// [`CampaignCache`] holding the same records writes.
+#[derive(Debug, Default)]
+pub struct SharedCampaignCache {
+    snapshot: Mutex<Arc<CampaignCache>>,
+    log: Mutex<CacheLog>,
+}
+
+impl SharedCampaignCache {
+    /// An empty shared cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedCampaignCache::default()
+    }
+
+    /// Loads a shared cache from a file ([`CampaignCache::load`]
+    /// semantics: a missing file is an empty cache).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the file exists but cannot be read,
+    /// [`CacheError::Corrupt`] when a line does not parse.
+    pub fn load(path: impl AsRef<Path>) -> Result<SharedCampaignCache, CacheError> {
+        Ok(CampaignCache::load(path)?.into())
+    }
+
+    /// The current published snapshot. A cheap `Arc` clone: the lock is
+    /// held only for the clone, never while a reader probes the cache,
+    /// so lookups never block on concurrent appends or publishes.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<CampaignCache> {
+        self.snapshot.lock().clone()
+    }
+
+    /// Appends a fresh golden capture to the log (visible to snapshots
+    /// after the next [`SharedCampaignCache::publish`]).
+    pub fn append_golden(&self, key: GoldenKey, entry: GoldenEntry) {
+        self.log.lock().goldens.push((key, entry));
+    }
+
+    /// Appends a fresh step probe to the log (visible to snapshots after
+    /// the next [`SharedCampaignCache::publish`]).
+    pub fn append_step(&self, key: StepKey, entry: StepEntry) {
+        self.log.lock().steps.push((key, entry));
+    }
+
+    /// Folds every logged append into a new published snapshot. A no-op
+    /// when the log is empty. Readers holding older snapshots are
+    /// unaffected; new [`SharedCampaignCache::snapshot`] calls see the
+    /// fold.
+    pub fn publish(&self) {
+        // Lock order everywhere in this type: log, then snapshot.
+        let mut log = self.log.lock();
+        if log.is_empty() {
+            return;
+        }
+        let mut snapshot = self.snapshot.lock();
+        let mut next = CampaignCache::clone(&snapshot);
+        for (key, entry) in log.goldens.drain(..) {
+            next.insert_golden(key, entry);
+        }
+        for (key, entry) in log.steps.drain(..) {
+            next.insert_step(key, entry);
+        }
+        *snapshot = Arc::new(next);
+    }
+
+    /// Total records in the published view (pending appends are published
+    /// first).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.publish();
+        self.snapshot.lock().len()
+    }
+
+    /// Whether the published view holds no records (pending appends are
+    /// published first).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes pending appends and serializes the store as canonical
+    /// JSONL — byte-identical to [`CampaignCache::to_jsonl`] on the same
+    /// records.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        self.publish();
+        self.snapshot.lock().to_jsonl()
+    }
+
+    /// Publishes pending appends and persists the store, overwriting
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        self.publish();
+        self.snapshot.lock().save(path)
+    }
+
+    /// Publishes pending appends and extracts a plain owned cache.
+    #[must_use]
+    pub fn into_cache(self) -> CampaignCache {
+        self.publish();
+        CampaignCache::clone(&self.snapshot.lock())
+    }
+}
+
+impl From<CampaignCache> for SharedCampaignCache {
+    fn from(cache: CampaignCache) -> SharedCampaignCache {
+        SharedCampaignCache {
+            snapshot: Mutex::new(Arc::new(cache)),
+            log: Mutex::new(CacheLog::default()),
+        }
+    }
 }
 
 /// Appends `,"name":"escaped value"` to `out`.
@@ -723,6 +938,159 @@ mod tests {
             ..Enhancements::stock()
         };
         assert_eq!(encode_enhancements(ecc), 0b001);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_lines_and_is_idempotent() {
+        // Hand-build a log with duplicates: the same step key appears
+        // three times (two stale, one live), the same golden twice, plus
+        // lines deliberately out of canonical order (step before golden).
+        let live = sample();
+        let mut stale = CampaignCache::new();
+        stale.insert_step(step_key(900), entry(&[EffectSet::of(Effect::Sc)]));
+        let stale_step_line = stale
+            .to_jsonl()
+            .lines()
+            .next()
+            .expect("one line")
+            .to_owned();
+        let mut log = String::new();
+        log.push_str(&stale_step_line);
+        log.push('\n');
+        log.push_str(&stale_step_line);
+        log.push('\n');
+        log.push_str(&live.to_jsonl());
+
+        let dir = std::env::temp_dir().join("margins-cache-compact-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("dup.jsonl");
+        std::fs::write(&path, &log).expect("write log");
+
+        let stats = CampaignCache::compact_file(&path).expect("compacts");
+        assert_eq!(stats.lines_before, 5);
+        assert_eq!(stats.lines_after, 3);
+        assert_eq!(stats.dropped(), 2);
+        assert!(stats.rewritten);
+
+        // The rewrite resolves duplicates exactly like a load would:
+        // the surviving content equals the live cache's canonical form.
+        let compacted = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(compacted, live.to_jsonl());
+
+        // Second run: byte-identical, nothing rewritten.
+        let again = CampaignCache::compact_file(&path).expect("idempotent");
+        assert_eq!(again.lines_before, 3);
+        assert_eq!(again.lines_after, 3);
+        assert_eq!(again.dropped(), 0);
+        assert!(!again.rewritten);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read back"),
+            compacted
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacting_a_missing_or_corrupt_file_is_a_typed_error() {
+        let err = CampaignCache::compact_file("/nonexistent/never.jsonl").expect_err("missing");
+        assert!(matches!(err, CacheError::Io { .. }), "{err}");
+
+        let dir = std::env::temp_dir().join("margins-cache-compact-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(&path, "not json\n").expect("write");
+        let err = CampaignCache::compact_file(&path).expect_err("corrupt");
+        assert!(matches!(err, CacheError::Corrupt { line: 1, .. }), "{err}");
+        // A corrupt file is left untouched.
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "not json\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_cache_snapshots_are_fixed_while_appends_publish() {
+        let shared = SharedCampaignCache::from(sample());
+        let before = shared.snapshot();
+        assert_eq!(before.len(), 3);
+
+        // Appends are invisible until published…
+        let mut key = step_key(870);
+        key.core = 1;
+        shared.append_step(key.clone(), entry(&[EffectSet::new()]));
+        assert!(shared.snapshot().step(&key).is_none());
+
+        // …and invisible to snapshots taken before the publish even after.
+        shared.publish();
+        assert!(before.step(&key).is_none());
+        assert!(shared.snapshot().step(&key).is_some());
+        assert_eq!(shared.len(), 4);
+    }
+
+    #[test]
+    fn shared_cache_serializes_like_the_equivalent_owned_cache() {
+        // Two "campaigns" append the same records in different orders;
+        // the published store serializes identically either way, and
+        // identically to a plain cache holding the same records.
+        let mut owned = sample();
+        let mut extra = step_key(865);
+        extra.program = "namd".into();
+        owned.insert_step(extra.clone(), entry(&[EffectSet::new()]));
+
+        let ab = SharedCampaignCache::from(sample());
+        ab.append_step(extra.clone(), entry(&[EffectSet::new()]));
+        let ba = SharedCampaignCache::new();
+        ba.append_step(extra, entry(&[EffectSet::new()]));
+        for (k, e) in sample().steps() {
+            ba.append_step(k.clone(), e.clone());
+        }
+        ba.append_golden(
+            GoldenKey {
+                chip: "TTT#0".into(),
+                target_mhz: 2400,
+                parked_mhz: 300,
+                enhancements: 0,
+                seed: 0xC0FF_EE00,
+                program: "bwaves".into(),
+                dataset: "ref".into(),
+                core: 0,
+            },
+            GoldenEntry {
+                digest: 0xDEAD_BEEF_0123_4567,
+                runtime_s: 0.5,
+            },
+        );
+
+        assert_eq!(ab.to_jsonl(), owned.to_jsonl());
+        assert_eq!(ba.to_jsonl(), owned.to_jsonl());
+        assert_eq!(ab.into_cache(), owned);
+    }
+
+    #[test]
+    fn shared_cache_handles_concurrent_appenders() {
+        let shared = SharedCampaignCache::new();
+        std::thread::scope(|scope| {
+            for core in 0..4u8 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for mv in [900, 890, 880] {
+                        let mut key = step_key(mv);
+                        key.core = core;
+                        shared.append_step(key, entry(&[EffectSet::new()]));
+                    }
+                    shared.publish();
+                });
+            }
+        });
+        assert_eq!(shared.len(), 12);
+        // Key-ordered serialization makes the result append-order-free.
+        let mut owned = CampaignCache::new();
+        for core in 0..4u8 {
+            for mv in [880, 890, 900] {
+                let mut key = step_key(mv);
+                key.core = core;
+                owned.insert_step(key, entry(&[EffectSet::new()]));
+            }
+        }
+        assert_eq!(shared.to_jsonl(), owned.to_jsonl());
     }
 
     #[test]

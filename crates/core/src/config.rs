@@ -95,6 +95,18 @@ impl CampaignConfig {
     pub fn sweep_voltages(&self) -> impl Iterator<Item = Millivolts> + '_ {
         (0..self.step_count()).map(|k| self.start_voltage.down_steps(k))
     }
+
+    /// Iterator over the campaign's work items in canonical order —
+    /// benchmarks-major, exactly the order a serial execution visits them
+    /// and the order the merged trace stream presents them. Yields
+    /// `(benchmark index, core)` pairs; the enumeration position is the
+    /// item's canonical index.
+    pub fn work_items(&self) -> impl Iterator<Item = (usize, CoreId)> + '_ {
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .flat_map(move |(bi, _)| self.cores.iter().map(move |c| (bi, *c)))
+    }
 }
 
 /// Builder for [`CampaignConfig`].

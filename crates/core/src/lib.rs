@@ -53,6 +53,7 @@ pub mod classify;
 pub mod config;
 pub mod dataset;
 pub mod effect;
+pub mod exec;
 pub mod profile;
 pub mod regions;
 pub mod report;
@@ -61,10 +62,13 @@ pub mod search;
 pub mod severity;
 pub mod watchdog;
 
-pub use cache::{CacheError, CampaignCache};
+pub use cache::{CacheError, CampaignCache, SharedCampaignCache};
 pub use classify::ClassifiedRun;
 pub use config::CampaignConfig;
 pub use effect::{Effect, EffectSet};
+pub use exec::{
+    CacheHandle, CampaignExecutor, ExecContext, ExecError, SerialExecutor, ThreadPoolExecutor,
+};
 pub use regions::{CharacterizationResult, RegionKind, SweepSummary};
 pub use runner::{Campaign, UnknownBenchmark};
 pub use search::{SearchPriors, SearchStrategy};

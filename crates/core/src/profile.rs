@@ -141,6 +141,16 @@ impl PhaseTallies {
         Phase::ALL.iter().map(move |p| (*p, self.get(*p)))
     }
 
+    /// Total kernel ops retired across every phase, saturating — zero for
+    /// a fully cache-replayed campaign, since replays execute no machine
+    /// probes and cached entries retain no op counts.
+    #[must_use]
+    pub fn executed_ops(&self) -> u64 {
+        self.tallies
+            .iter()
+            .fold(0u64, |acc, t| acc.saturating_add(t.ops))
+    }
+
     /// The per-sweep [`TraceEvent::ProfileSample`] records of these
     /// tallies, one per phase in canonical order.
     #[must_use]

@@ -24,8 +24,11 @@ use crate::cache::{
 use crate::classify::{classify_run, ClassifiedRun};
 use crate::config::SweptRail;
 use crate::config::{BenchmarkRef, CampaignConfig};
+use crate::exec::{
+    CacheHandle, CampaignExecutor, ExecContext, ExecError, ItemTask, ThreadPoolExecutor, WorkItem,
+};
 use crate::profile::{Phase, PhaseTallies};
-use crate::search::{SearchPlan, SearchPriors, SearchStrategy, StepVerdict};
+use crate::search::{SearchPlan, SearchPriors, StepVerdict};
 use crate::severity::SeverityWeights;
 use crate::watchdog::Watchdog;
 use margins_sim::volt::{Millivolts, PMD_NOMINAL, SOC_NOMINAL};
@@ -78,9 +81,17 @@ impl Campaign {
     }
 
     /// Executes the campaign serially.
+    ///
+    /// Thin shim over [`Campaign::run`] with a [`SerialExecutor`] and an
+    /// all-off context — results are identical to every other execution
+    /// path of the same campaign.
+    ///
+    /// [`SerialExecutor`]: crate::exec::SerialExecutor
     #[must_use]
     pub fn execute(&self) -> CampaignOutcome {
-        self.execute_parallel(1)
+        self.run(&crate::exec::SerialExecutor, ExecContext::new())
+            // lint: allow(no-panic) — built-in executors deliver every item in order
+            .expect("built-in executors uphold the delivery contract")
     }
 
     /// Executes the campaign sharded over `threads` worker threads, one
@@ -88,6 +99,9 @@ impl Campaign {
     /// the serial execution: run seeds depend only on (campaign seed,
     /// benchmark, core, voltage, iteration), and every probe starts from
     /// power-on state, never from another probe's board history.
+    ///
+    /// Thin shim over [`Campaign::run`] with a clamped
+    /// [`ThreadPoolExecutor`] (0 means 1, as it always has).
     #[must_use]
     pub fn execute_parallel(&self, threads: usize) -> CampaignOutcome {
         self.execute_traced(threads, &mut [])
@@ -111,6 +125,9 @@ impl Campaign {
     ///
     /// Passing no sinks disables tracing entirely: no event is ever
     /// constructed, and campaign results are identical either way.
+    ///
+    /// Thin shim over [`Campaign::run`]: sinks ride the context, the
+    /// executor is a clamped [`ThreadPoolExecutor`].
     #[must_use]
     pub fn execute_traced(&self, threads: usize, sinks: &mut [&mut dyn Sink]) -> CampaignOutcome {
         self.execute_with(threads, sinks, None, None)
@@ -124,6 +141,8 @@ impl Campaign {
     /// so its snapshot is a pure function of the byte-deterministic
     /// records: serial and sharded executions of the same campaign return
     /// identical registries.
+    /// Thin shim over [`Campaign::run`]: the registry rides the context's
+    /// `metrics` slot and is folded into the sink fan-out by `run` itself.
     #[must_use]
     pub fn execute_metered(
         &self,
@@ -133,14 +152,19 @@ impl Campaign {
         priors: Option<&SearchPriors>,
     ) -> (CampaignOutcome, MetricsRegistry) {
         let mut metrics = MetricsRegistry::new();
-        let outcome = {
-            let mut all: Vec<&mut dyn Sink> = Vec::with_capacity(sinks.len() + 1);
-            for sink in sinks.iter_mut() {
-                all.push(&mut **sink);
-            }
-            all.push(&mut metrics);
-            self.execute_with(threads, &mut all, cache, priors)
-        };
+        let outcome = self
+            .run(
+                &ThreadPoolExecutor::clamped(threads),
+                ExecContext {
+                    sinks,
+                    cache: cache.map(CacheHandle::Owned),
+                    priors,
+                    metrics: Some(&mut metrics),
+                    profile_out: None,
+                },
+            )
+            // lint: allow(no-panic) — built-in executors deliver every item in order
+            .expect("built-in executors uphold the delivery contract");
         (outcome, metrics)
     }
 
@@ -162,43 +186,113 @@ impl Campaign {
     /// cache is supplied, priors are derived from the cache before
     /// execution starts, so warm-started searches stay
     /// schedule-independent.
+    ///
+    /// Thin shim over [`Campaign::run`] with a clamped
+    /// [`ThreadPoolExecutor`] and the cache exclusively owned.
     #[must_use]
     pub fn execute_with(
         &self,
         threads: usize,
         sinks: &mut [&mut dyn Sink],
-        mut cache: Option<&mut CampaignCache>,
+        cache: Option<&mut CampaignCache>,
         priors: Option<&SearchPriors>,
     ) -> CampaignOutcome {
-        let items: Vec<(usize, CoreId)> = self
+        self.run(
+            &ThreadPoolExecutor::clamped(threads),
+            ExecContext {
+                sinks,
+                cache: cache.map(CacheHandle::Owned),
+                priors,
+                metrics: None,
+                profile_out: None,
+            },
+        )
+        // lint: allow(no-panic) — built-in executors deliver every item in order
+        .expect("built-in executors uphold the delivery contract")
+    }
+
+    /// Executes the campaign on `exec` — the one real execution path every
+    /// `execute*` shim funnels into.
+    ///
+    /// The campaign enumerates its canonical work items (benchmarks-major
+    /// × cores, index = canonical position), hands them to the executor,
+    /// and consumes deliveries in canonical order: merge profile tallies,
+    /// seal each item's staged events through the single
+    /// [`StreamFinalizer`], accumulate runs/goldens/power cycles, collect
+    /// fresh cache entries. Which engine ran the items — and with how many
+    /// workers — is invisible in every output: the trace stream, the
+    /// metrics exposition, the profile rollups and the outcome are all
+    /// byte-identical across conforming executors. Executor identity is
+    /// deliberately absent from the trace schema.
+    ///
+    /// Cache semantics ([`CacheHandle`]): the campaign reads one immutable
+    /// cache view fixed before the first probe (for a shared cache, an
+    /// [`Arc`] snapshot), so lookups never race with writers; fresh
+    /// results are written back after the last delivery — directly into an
+    /// owned cache, or appended and published to a shared one.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] when the executor violates its delivery contract
+    /// (out-of-order or incomplete delivery). The built-in executors never
+    /// do; the check exists so third-party executors fail loudly instead
+    /// of corrupting a stream.
+    pub fn run(
+        &self,
+        exec: &dyn CampaignExecutor,
+        ctx: ExecContext<'_, '_>,
+    ) -> Result<CampaignOutcome, ExecError> {
+        let ExecContext {
+            sinks,
+            cache,
+            priors,
+            metrics,
+            profile_out,
+        } = ctx;
+        // The metrics registry is just another sink riding the finalized
+        // stream; folding it here keeps `execute_metered` a thin shim.
+        let mut all_sinks: Vec<&mut dyn Sink> = Vec::with_capacity(sinks.len() + 1);
+        for sink in sinks.iter_mut() {
+            all_sinks.push(&mut **sink);
+        }
+        if let Some(metrics) = metrics {
+            all_sinks.push(metrics);
+        }
+        let sinks: &mut [&mut dyn Sink] = &mut all_sinks;
+
+        let items: Vec<WorkItem> = self
             .config
-            .benchmarks
-            .iter()
+            .work_items()
             .enumerate()
-            .flat_map(|(bi, _)| self.config.cores.iter().map(move |c| (bi, *c)))
+            .map(|(index, (bench, core))| WorkItem { index, bench, core })
             .collect();
-        let threads = threads.clamp(1, items.len().max(1));
+
+        // Fix one immutable cache view before the first probe executes.
+        // For a shared cache this is an Arc snapshot: concurrent sibling
+        // campaigns may append and publish freely without this campaign
+        // ever observing mid-run changes (lookups stay deterministic).
+        let mut cache = cache;
+        let snapshot: Option<Arc<CampaignCache>> = match &cache {
+            Some(CacheHandle::Shared(shared)) => Some(shared.snapshot()),
+            _ => None,
+        };
+        let cache_view: Option<&CampaignCache> = match (&cache, &snapshot) {
+            (Some(CacheHandle::Owned(owned)), _) => Some(&**owned),
+            (Some(CacheHandle::Shared(_)), Some(snap)) => Some(snap.as_ref()),
+            _ => None,
+        };
 
         // Warm-start priors must be fixed before the first probe executes;
         // deriving them from sibling items of the running campaign would
         // make searches schedule-dependent.
-        let derived = if self.config.search == SearchStrategy::WarmStart && priors.is_none() {
-            cache
-                .as_deref()
-                .map(|c| c.derive_priors(&self.spec.to_string(), &self.config))
+        let derived = if self.config.search.uses_priors() && priors.is_none() {
+            cache_view.map(|c| c.derive_priors(&self.spec.to_string(), &self.config))
         } else {
             None
         };
         let priors = priors.or(derived.as_ref());
 
-        // Shard work items round-robin, remembering each item's canonical
-        // position so the merge below can reorder completions.
-        let mut shards: Vec<Vec<(usize, usize, CoreId)>> = vec![Vec::new(); threads];
-        for (i, (bench_idx, core)) in items.iter().enumerate() {
-            shards[i % threads].push((i, *bench_idx, *core));
-        }
         let traced = !sinks.is_empty();
-
         let mut finalizer = StreamFinalizer::new();
         if traced {
             emit_record(
@@ -217,13 +311,13 @@ impl Campaign {
             );
             // The schedule announces *logical* shards (one per work item,
             // in canonical order) so the preamble is byte-identical no
-            // matter how many worker threads execute it.
-            for (item_idx, _) in items.iter().enumerate() {
+            // matter which executor — or how many worker threads — runs it.
+            for item in &items {
                 emit_record(
                     &mut finalizer,
                     sinks,
                     TraceEvent::ShardScheduled {
-                        shard: item_idx as u32,
+                        shard: item.index as u32,
                         items: self.config.step_count() * self.config.iterations,
                     },
                 );
@@ -236,50 +330,67 @@ impl Campaign {
         let mut fresh_goldens: Vec<(GoldenKey, GoldenEntry)> = Vec::new();
         let mut fresh_steps: Vec<(StepKey, StepEntry)> = Vec::new();
         let mut campaign_profile = PhaseTallies::new();
+        let mut next = 0usize;
+        let mut order_error: Option<ExecError> = None;
         {
-            // Workers read the cache as it was when the campaign started;
-            // fresh results are collected by the merge loop and inserted
-            // after the scope ends, so lookups never race with inserts and
-            // one item's probes cannot shadow another's within a campaign.
-            let shared: Option<&CampaignCache> = cache.as_deref();
-            crossbeam::thread::scope(|scope| {
-                let (tx, rx) = crossbeam::channel::unbounded::<(usize, TracedItem)>();
-                for shard in &shards {
-                    let tx = tx.clone();
-                    scope.spawn(move |_| self.run_shard_items(shard, traced, shared, priors, &tx));
+            let task = ItemTask::new(self, &items, traced, cache_view, priors);
+            let mut deliver = |output: crate::exec::ItemOutput| {
+                if order_error.is_some() {
+                    return;
                 }
-                drop(tx);
-
-                // Reorder buffer: completions arrive in scheduling order;
-                // emit and accumulate them in canonical item order.
-                let mut pending: BTreeMap<usize, TracedItem> = BTreeMap::new();
-                let mut next = 0usize;
-                for (idx, item) in rx {
-                    pending.insert(idx, item);
-                    while let Some(ready) = pending.remove(&next) {
-                        campaign_profile.merge(&ready.profile);
-                        for event in ready.events {
-                            emit_record(&mut finalizer, sinks, event);
-                        }
-                        goldens.insert(ready.golden_key, ready.golden);
-                        runs.extend(ready.runs);
-                        power_cycles += ready.power_cycles;
-                        fresh_goldens.extend(ready.fresh_golden);
-                        fresh_steps.extend(ready.fresh_steps);
-                        next += 1;
-                    }
+                let (index, ready) = output.into_parts();
+                if index != next {
+                    order_error = Some(ExecError::OutOfOrderDelivery {
+                        expected: next,
+                        delivered: index,
+                    });
+                    return;
                 }
-            })
-            // lint: allow(no-panic) — scope error only surfaces worker panics
-            .expect("campaign worker panicked");
+                next += 1;
+                campaign_profile.merge(&ready.profile);
+                for event in ready.events {
+                    emit_record(&mut finalizer, sinks, event);
+                }
+                goldens.insert(ready.golden_key, ready.golden);
+                runs.extend(ready.runs);
+                power_cycles += ready.power_cycles;
+                fresh_goldens.extend(ready.fresh_golden);
+                fresh_steps.extend(ready.fresh_steps);
+            };
+            exec.run_items(&task, &mut deliver)?;
         }
-        if let Some(cache) = cache.as_deref_mut() {
-            for (key, entry) in fresh_goldens {
-                cache.insert_golden(key, entry);
+        if let Some(err) = order_error {
+            return Err(err);
+        }
+        if next != items.len() {
+            return Err(ExecError::IncompleteDelivery {
+                delivered: next,
+                expected: items.len(),
+            });
+        }
+
+        // Write fresh results back after the last lookup: directly into an
+        // owned cache, or onto the shared append log (published at once so
+        // a subsequent campaign's snapshot sees this campaign's work).
+        match cache.as_mut() {
+            Some(CacheHandle::Owned(owned)) => {
+                for (key, entry) in fresh_goldens {
+                    owned.insert_golden(key, entry);
+                }
+                for (key, entry) in fresh_steps {
+                    owned.insert_step(key, entry);
+                }
             }
-            for (key, entry) in fresh_steps {
-                cache.insert_step(key, entry);
+            Some(CacheHandle::Shared(shared)) => {
+                for (key, entry) in fresh_goldens {
+                    shared.append_golden(key, entry);
+                }
+                for (key, entry) in fresh_steps {
+                    shared.append_step(key, entry);
+                }
+                shared.publish();
             }
+            None => {}
         }
 
         let rail = self.config.rail;
@@ -320,13 +431,16 @@ impl Campaign {
                 sink.finish();
             }
         }
-        CampaignOutcome {
+        if let Some(out) = profile_out {
+            *out = campaign_profile;
+        }
+        Ok(CampaignOutcome {
             spec: self.spec,
             config: self.config.clone(),
             runs,
             goldens,
             watchdog_power_cycles: power_cycles,
-        }
+        })
     }
 
     /// The serialized name of the swept rail in trace events.
@@ -354,52 +468,51 @@ impl Campaign {
         system
     }
 
-    fn run_shard_items(
+    /// Executes one (benchmark, core) work item end to end: the sweep's
+    /// span events (opened and closed here), the characterization itself,
+    /// and the optional per-sweep profile samples, all staged in a private
+    /// per-item [`EventBuffer`] so executors can run items on any thread
+    /// in any order without perturbing the merged stream.
+    pub(crate) fn run_work_item(
         &self,
-        items: &[(usize, usize, CoreId)],
+        item: &WorkItem,
         traced: bool,
         cache: Option<&CampaignCache>,
         priors: Option<&SearchPriors>,
-        tx: &crossbeam::channel::Sender<(usize, TracedItem)>,
-    ) {
-        for (global_idx, bench_idx, core) in items {
-            let bench = &self.config.benchmarks[*bench_idx];
-            let buffer = Arc::new(EventBuffer::new());
-            note(traced, &buffer, || TraceEvent::SweepStarted {
-                program: bench.name.clone(),
-                dataset: bench.dataset.label().to_owned(),
-                core: core.index() as u8,
-                shard: *global_idx as u32,
-            });
-            let item = self.characterize_item(bench, *core, traced, &buffer, cache, priors);
-            if self.config.profile {
-                for event in item
-                    .profile
-                    .sample_events(&bench.name, bench.dataset.label(), *core)
-                {
-                    note(traced, &buffer, || event);
-                }
+    ) -> TracedItem {
+        let bench = &self.config.benchmarks[item.bench];
+        let core = item.core;
+        let buffer = Arc::new(EventBuffer::new());
+        note(traced, &buffer, || TraceEvent::SweepStarted {
+            program: bench.name.clone(),
+            dataset: bench.dataset.label().to_owned(),
+            core: core.index() as u8,
+            shard: item.index as u32,
+        });
+        let result = self.characterize_item(bench, core, traced, &buffer, cache, priors);
+        if self.config.profile {
+            for event in result
+                .profile
+                .sample_events(&bench.name, bench.dataset.label(), core)
+            {
+                note(traced, &buffer, || event);
             }
-            note(traced, &buffer, || TraceEvent::SweepFinished {
-                program: bench.name.clone(),
-                dataset: bench.dataset.label().to_owned(),
-                core: core.index() as u8,
-                runs: item.runs.len() as u32,
-            });
-            let traced_item = TracedItem {
-                events: buffer.drain(),
-                golden_key: (bench.name.clone(), bench.dataset.label().to_owned()),
-                golden: item.golden,
-                runs: item.runs,
-                power_cycles: item.power_cycles,
-                fresh_golden: item.fresh_golden,
-                fresh_steps: item.fresh_steps,
-                profile: item.profile,
-            };
-            // A closed receiver means the campaign was abandoned; nothing
-            // useful remains to do with this item's result.
-            // lint: allow(swallowed-fallibility) — abandoned campaign: the receiver is gone by design
-            let _ = tx.send((*global_idx, traced_item));
+        }
+        note(traced, &buffer, || TraceEvent::SweepFinished {
+            program: bench.name.clone(),
+            dataset: bench.dataset.label().to_owned(),
+            core: core.index() as u8,
+            runs: result.runs.len() as u32,
+        });
+        TracedItem {
+            events: buffer.drain(),
+            golden_key: (bench.name.clone(), bench.dataset.label().to_owned()),
+            golden: result.golden,
+            runs: result.runs,
+            power_cycles: result.power_cycles,
+            fresh_golden: result.fresh_golden,
+            fresh_steps: result.fresh_steps,
+            profile: result.profile,
         }
     }
 
@@ -897,9 +1010,11 @@ impl std::fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
-/// One completed work item, as delivered from a shard worker to the merge
-/// thread: the item's staged trace events plus its share of the outcome.
-struct TracedItem {
+/// One completed work item, as delivered from an executor to the merge
+/// loop of [`Campaign::run`]: the item's staged trace events plus its
+/// share of the outcome.
+#[derive(Debug)]
+pub(crate) struct TracedItem {
     events: Vec<TraceEvent>,
     golden_key: (String, String),
     golden: OutputDigest,

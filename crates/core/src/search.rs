@@ -72,6 +72,13 @@ impl SearchStrategy {
     pub fn is_adaptive(self) -> bool {
         !matches!(self, SearchStrategy::Exhaustive)
     }
+
+    /// Whether the strategy consumes warm-start priors — the signal the
+    /// runner uses to derive priors from a cache before execution starts.
+    #[must_use]
+    pub fn uses_priors(self) -> bool {
+        matches!(self, SearchStrategy::WarmStart)
+    }
 }
 
 impl std::fmt::Display for SearchStrategy {

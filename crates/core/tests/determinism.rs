@@ -138,6 +138,26 @@ fn metrics_registry_reconciles_with_the_outcome() {
 }
 
 #[test]
+fn legacy_shims_and_the_unified_run_path_agree() {
+    // The `execute*` family is now thin shims over `Campaign::run`; a
+    // direct `run` call under either built-in executor must reproduce the
+    // shims' output byte for byte.
+    use margins_core::exec::{ExecContext, SerialExecutor, ThreadPoolExecutor};
+
+    let via_shim = campaign().execute();
+    let serial = campaign()
+        .run(&SerialExecutor, ExecContext::new())
+        .expect("built-in executors uphold the delivery contract");
+    let pooled = campaign()
+        .run(&ThreadPoolExecutor::clamped(3), ExecContext::new())
+        .expect("built-in executors uphold the delivery contract");
+    assert_eq!(report::runs_csv(&via_shim), report::runs_csv(&serial));
+    assert_eq!(report::runs_csv(&via_shim), report::runs_csv(&pooled));
+    assert_eq!(via_shim.goldens, serial.goldens);
+    assert_eq!(via_shim.goldens, pooled.goldens);
+}
+
+#[test]
 fn run_rows_expose_on_grid_millivolts() {
     // The sim → core boundary carries typed Millivolts; every reported
     // voltage sits on the 5 mV regulator grid within the swept band.

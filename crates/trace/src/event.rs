@@ -32,9 +32,12 @@ pub enum TraceEvent {
         /// Iterations per (benchmark, core, voltage) configuration.
         iterations: u32,
         /// Logical work shards: one per (benchmark, core) sweep item.
-        /// Which worker thread executes a shard is an execution detail
-        /// deliberately excluded from the trace, so streams are identical
-        /// across thread counts.
+        /// Which worker thread executes a shard — and, more generally,
+        /// which `CampaignExecutor` ran the campaign (serial, thread
+        /// pool, anything conformant) — is an execution detail
+        /// deliberately excluded from the schema, so streams are
+        /// identical across executors and thread counts. Executor
+        /// identity must never be added to any event.
         shards: u32,
         /// Campaign seed.
         seed: u64,

@@ -7,6 +7,7 @@
 //! ```
 
 use voltmargin::characterize::config::CampaignConfig;
+use voltmargin::characterize::exec::{ExecContext, ThreadPoolExecutor};
 use voltmargin::characterize::regions::analyze;
 use voltmargin::characterize::report;
 use voltmargin::characterize::runner::Campaign;
@@ -27,10 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Execution phase: the campaign sweeps the shared PMD rail down in
     //    5 mV steps, 10 runs per step, recovering via the watchdog whenever
-    //    a run hangs the simulated board.
+    //    a run hangs the simulated board. A four-worker thread pool and a
+    //    serial executor produce byte-identical results; swap in
+    //    `SerialExecutor` to see for yourself.
     let chip = ChipSpec::new(Corner::Ttt, 0);
     let campaign = Campaign::new(chip, config);
-    let outcome = campaign.execute_parallel(4);
+    let outcome = campaign.run(&ThreadPoolExecutor::new(4)?, ExecContext::new())?;
     println!(
         "executed {} runs ({} watchdog power cycles)\n",
         outcome.runs.len(),

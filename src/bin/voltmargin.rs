@@ -15,6 +15,9 @@ use std::process::ExitCode;
 
 use voltmargin::characterize::cache::CampaignCache;
 use voltmargin::characterize::config::{CampaignConfig, SweptRail};
+use voltmargin::characterize::exec::{
+    CacheHandle, CampaignExecutor, ExecContext, SerialExecutor, ThreadPoolExecutor,
+};
 use voltmargin::characterize::regions::analyze;
 use voltmargin::characterize::report;
 use voltmargin::characterize::runner::{profile, Campaign};
@@ -48,6 +51,8 @@ commands:
   characterize   sweep the PMD (or SoC) rail and print/export regions
   profile        run benchmarks at nominal and print key PMU counters
   govern         plan undervolted operating points for a task set
+  cache compact FILE   rewrite a campaign-cache JSONL file in canonical
+                       form, dropping superseded duplicate entries
   list-benchmarks
 
 common options:
@@ -59,6 +64,8 @@ common options:
   --start MV --floor MV     sweep bounds (default 930 → 840)
   --rail pmd|soc            which rail to sweep (default pmd)
   --threads N               worker threads (default 8)
+  --executor serial|pool    (characterize) campaign executor (default pool);
+                            both produce byte-identical traces and results
   --out-dir DIR             also write runs/regions/severity CSV files
   --tasks a,b,c             (govern) workloads to schedule
   --max-loss F              (govern) performance-loss budget, e.g. 0.25
@@ -80,6 +87,11 @@ common options:
                             host time never enters traces, CSVs or metrics";
 
 fn run(args: &[String]) -> Result<(), String> {
+    // `cache` takes a positional subcommand, not --flags; dispatch it
+    // before the flag parser sees the arguments.
+    if args.first().map(String::as_str) == Some("cache") {
+        return cache_cmd(&args[1..]);
+    }
     let mut opts = Options::parse(args)?;
     match opts.command.as_str() {
         "characterize" => characterize(&mut opts),
@@ -94,6 +106,33 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// `voltmargin cache <subcommand>`: maintenance operations on persistent
+/// campaign-cache files.
+fn cache_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compact") => {
+            let path = args.get(1).ok_or("cache compact needs a cache file path")?;
+            if args.len() > 2 {
+                return Err("cache compact takes exactly one file path".into());
+            }
+            let stats = CampaignCache::compact_file(path).map_err(|e| e.to_string())?;
+            if stats.rewritten {
+                println!(
+                    "compacted {path}: {} lines -> {} ({} superseded line(s) dropped)",
+                    stats.lines_before,
+                    stats.lines_after,
+                    stats.dropped()
+                );
+            } else {
+                println!("{path} already compact ({} lines)", stats.lines_after);
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown cache subcommand '{other}' (compact)")),
+        None => Err("cache needs a subcommand (compact)".into()),
     }
 }
 
@@ -251,12 +290,28 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         None => None,
     };
 
+    // Both executors drive the identical shard-partition → reorder-merge →
+    // finalize pipeline, so the choice never shows in any output.
+    let executor: Box<dyn CampaignExecutor> = match opts
+        .flags
+        .get("executor")
+        .map(String::as_str)
+        .unwrap_or("pool")
+    {
+        "serial" => Box::new(SerialExecutor),
+        "pool" => Box::new(ThreadPoolExecutor::new(threads).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown executor '{other}' (serial|pool)")),
+    };
+
     let campaign = Campaign::new(spec, config);
     // The timing plane is wall-clock by definition and lives only in its
     // opt-in sidecar file: it never reaches the JSONL stream, the CSV
     // exports or the OpenMetrics exposition, which stay deterministic.
     let campaign_started = timing_path.as_ref().map(|_| std::time::Instant::now());
-    let (outcome, metrics) = if traced {
+    let mut metrics = MetricsRegistry::new();
+    let outcome = {
+        // With no sink and no registry attached, events are never even
+        // constructed; results are identical either way.
         let mut sinks: Vec<&mut dyn Sink> = Vec::new();
         if let Some(sink) = progress_sink.as_mut() {
             sinks.push(sink);
@@ -264,11 +319,18 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
         if let Some(sink) = jsonl.as_mut() {
             sinks.push(sink);
         }
-        campaign.execute_metered(threads, &mut sinks, cache.as_mut(), None)
-    } else {
-        // No sink at all: events are never constructed, results identical.
-        let outcome = campaign.execute_with(threads, &mut [], cache.as_mut(), None);
-        (outcome, MetricsRegistry::new())
+        campaign
+            .run(
+                &*executor,
+                ExecContext {
+                    sinks: &mut sinks,
+                    cache: cache.as_mut().map(CacheHandle::Owned),
+                    priors: None,
+                    metrics: traced.then_some(&mut metrics),
+                    profile_out: None,
+                },
+            )
+            .map_err(|e| e.to_string())?
     };
     let campaign_wall_s = campaign_started.map(|t| t.elapsed().as_secs_f64());
     let result = analyze(&outcome, &SeverityWeights::paper());

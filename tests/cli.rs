@@ -326,3 +326,138 @@ fn govern_trace_records_the_decision() {
     assert_eq!(stats.records, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn characterize_executors_write_byte_identical_traces() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-execcli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |executor: &str, name: &str| {
+        let path = dir.join(name);
+        let out = voltmargin(&[
+            "characterize",
+            "--benchmarks",
+            "namd",
+            "--cores",
+            "4",
+            "--iterations",
+            "2",
+            "--start",
+            "890",
+            "--floor",
+            "875",
+            "--threads",
+            "2",
+            "--executor",
+            executor,
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "--executor {executor}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let serial = run("serial", "serial.jsonl");
+    let pool = run("pool", "pool.jsonl");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, pool,
+        "the executor choice must never reach the deterministic stream"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn characterize_rejects_bad_executor_configs() {
+    let out = voltmargin(&[
+        "characterize",
+        "--benchmarks",
+        "namd",
+        "--executor",
+        "quantum",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown executor 'quantum'"),
+        "stderr: {stderr}"
+    );
+
+    let out = voltmargin(&["characterize", "--benchmarks", "namd", "--threads", "0"]);
+    assert!(!out.status.success(), "a zero-thread pool must be rejected");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("at least one"), "stderr: {stderr}");
+}
+
+#[test]
+fn cache_compact_drops_duplicates_and_is_idempotent() {
+    let dir = std::env::temp_dir().join(format!("voltmargin-compact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache.jsonl");
+    let out = voltmargin(&[
+        "characterize",
+        "--benchmarks",
+        "namd",
+        "--cores",
+        "4",
+        "--iterations",
+        "2",
+        "--start",
+        "890",
+        "--floor",
+        "880",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let canonical = std::fs::read_to_string(&cache).unwrap();
+    assert!(!canonical.is_empty());
+
+    // An append-style log with every line duplicated: compaction must
+    // restore the canonical bytes exactly.
+    std::fs::write(&cache, format!("{canonical}{canonical}")).unwrap();
+    let out = voltmargin(&["cache", "compact", cache.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("compacted"), "stdout: {stdout}");
+    assert_eq!(std::fs::read_to_string(&cache).unwrap(), canonical);
+
+    // Idempotent: a second pass changes nothing and says so.
+    let out = voltmargin(&["cache", "compact", cache.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("already compact"), "stdout: {stdout}");
+    assert_eq!(std::fs::read_to_string(&cache).unwrap(), canonical);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_compact_reports_clean_errors() {
+    let out = voltmargin(&["cache", "compact", "/nonexistent/never.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    let dir = std::env::temp_dir().join(format!("voltmargin-compacterr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.jsonl");
+    std::fs::write(&path, "not json\n").unwrap();
+    let out = voltmargin(&["cache", "compact", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt input must fail");
+    // The corrupt file is left untouched.
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "not json\n");
+
+    let out = voltmargin(&["cache", "polish"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown cache subcommand"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
