@@ -1,0 +1,312 @@
+//! The TCP front-end: line-delimited JSON frames over plain sockets.
+//!
+//! `voltmargin serve` binds a listener, prints `listening on ADDR` (so
+//! callers binding port 0 can discover the port), and handles each
+//! connection on its own thread against one shared [`FleetService`].
+//! Every inbound line is decoded with the total [`Request`] parser;
+//! undecodable frames are answered with a typed [`Response::Error`] and
+//! the connection stays up — a hostile peer can never panic the daemon.
+//!
+//! A `shutdown` frame stops the accept loop; in-flight chips finish, the
+//! shared campaign cache is published and saved (when a cache path was
+//! given), and the process exits cleanly.
+
+use crate::proto::{Request, Response, PROTO_VERSION};
+use crate::service::{FleetService, JobOutcome};
+use margins_core::cache::{CacheError, SharedCampaignCache};
+use margins_core::exec::ExecError;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Everything `voltmargin serve` needs to run a daemon.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:4750` (`:0` picks a free port).
+    pub addr: String,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Persistent campaign cache JSONL, loaded at start and saved at
+    /// shutdown.
+    pub cache_path: Option<String>,
+    /// When set, each completed job's merged streams are also written
+    /// under `<out_dir>/<client>/job<id>/`.
+    pub out_dir: Option<String>,
+}
+
+/// A daemon that could not start or persist its state.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound (in use, unresolvable, …).
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        message: String,
+    },
+    /// The worker count is invalid.
+    Exec(ExecError),
+    /// The campaign cache could not be loaded or saved.
+    Cache(CacheError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, message } => {
+                write!(f, "serve: cannot bind {addr}: {message}")
+            }
+            ServeError::Exec(e) => write!(f, "serve: {e}"),
+            ServeError::Cache(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Runs the daemon until a client sends `shutdown`.
+///
+/// # Errors
+///
+/// [`ServeError::Exec`] for an invalid worker count, [`ServeError::Bind`]
+/// when the address cannot be bound, [`ServeError::Cache`] when the cache
+/// fails to load or save.
+pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
+    let cache = match &config.cache_path {
+        Some(path) => SharedCampaignCache::load(path).map_err(ServeError::Cache)?,
+        None => SharedCampaignCache::new(),
+    };
+    let service = FleetService::new(config.workers, cache).map_err(ServeError::Exec)?;
+    let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+        addr: config.addr.clone(),
+        message: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| ServeError::Bind {
+        addr: config.addr.clone(),
+        message: e.to_string(),
+    })?;
+    println!("listening on {local}");
+    // The port-discovery line must be visible before the first client
+    // connects, even through a pipe; a broken stdout must not kill the
+    // daemon.
+    let _ = std::io::stdout().flush();
+
+    let stop = AtomicBool::new(false);
+    service.run(|| {
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = &service;
+                let stop = &stop;
+                let out_dir = config.out_dir.as_deref();
+                scope.spawn(move || handle_connection(stream, service, stop, local, out_dir));
+            }
+        });
+    });
+
+    if let Some(path) = &config.cache_path {
+        service.cache().save(path).map_err(ServeError::Cache)?;
+    }
+    Ok(())
+}
+
+/// Serves one client connection until EOF or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: &FleetService,
+    stop: &AtomicBool,
+    local: SocketAddr,
+    out_dir: Option<&str>,
+) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(&line, service, out_dir);
+        if writeln!(writer, "{}", response.to_line()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a throwaway connection; best
+            // effort, since the accept loop also checks the flag.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+}
+
+/// A daemon-side error frame (decode errors use
+/// [`ProtoError::to_response`](crate::proto::ProtoError::to_response)).
+fn error_frame(code: &str, message: String) -> Response {
+    Response::Error {
+        proto: PROTO_VERSION,
+        code: code.to_owned(),
+        message,
+    }
+}
+
+/// Dispatches one decoded line; returns the response and whether the
+/// daemon should shut down.
+fn respond(line: &str, service: &FleetService, out_dir: Option<&str>) -> (Response, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(e) => return (e.to_response(), false),
+    };
+    match request {
+        Request::Submit { client, spec } => match service.submit(&client, &spec) {
+            Ok((job, chips)) => (Response::Submitted { job, chips }, false),
+            Err(e) => (error_frame("bad-spec", e.to_string()), false),
+        },
+        Request::Status { client, job } => match service.status(&client, job) {
+            Some(s) => (
+                Response::Status {
+                    job,
+                    state: s.state.to_owned(),
+                    done: s.done,
+                    total: s.total,
+                },
+                false,
+            ),
+            None => (unknown_job(job), false),
+        },
+        Request::Cancel { client, job } => {
+            if service.cancel(&client, job) {
+                (Response::Cancelled { job }, false)
+            } else {
+                (unknown_job(job), false)
+            }
+        }
+        Request::Results { client, job } => match service.wait(&client, job) {
+            Some(JobOutcome::Done(r)) => {
+                if let Some(dir) = out_dir {
+                    if let Err(e) = write_artifacts(dir, &client, job, &r.trace, &r.metrics) {
+                        return (error_frame("io", e), false);
+                    }
+                }
+                (
+                    Response::Results {
+                        job,
+                        chips: r.chips,
+                        runs: r.runs,
+                        power_cycles: r.power_cycles,
+                        executed_ops: r.executed_ops,
+                        trace: r.trace,
+                        metrics: r.metrics,
+                    },
+                    false,
+                )
+            }
+            Some(JobOutcome::Cancelled) => (
+                error_frame("cancelled", format!("job {job} was cancelled")),
+                false,
+            ),
+            Some(JobOutcome::Failed(e)) => (error_frame("exec", e.to_string()), false),
+            None => (unknown_job(job), false),
+        },
+        Request::Shutdown => (Response::Bye, true),
+    }
+}
+
+fn unknown_job(job: u64) -> Response {
+    error_frame("unknown-job", format!("no job {job} for this client"))
+}
+
+/// Writes a job's merged streams under `<dir>/<client>/job<id>/`,
+/// sanitizing the client name so it can never escape the artifact root.
+fn write_artifacts(
+    dir: &str,
+    client: &str,
+    job: u64,
+    trace: &str,
+    metrics: &str,
+) -> Result<(), String> {
+    let safe: String = client
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let safe = if safe.is_empty() {
+        "anonymous".to_owned()
+    } else {
+        safe
+    };
+    let job_dir = format!("{dir}/{safe}/job{job}");
+    std::fs::create_dir_all(&job_dir).map_err(|e| format!("{job_dir}: {e}"))?;
+    std::fs::write(format!("{job_dir}/trace.jsonl"), trace)
+        .map_err(|e| format!("{job_dir}/trace.jsonl: {e}"))?;
+    std::fs::write(format!("{job_dir}/metrics.om"), metrics)
+        .map_err(|e| format!("{job_dir}/metrics.om: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_errors_render_operator_messages() {
+        let msg = ServeError::Bind {
+            addr: "127.0.0.1:1".into(),
+            message: "permission denied".into(),
+        }
+        .to_string();
+        assert!(msg.contains("cannot bind 127.0.0.1:1"), "{msg}");
+        let msg = ServeError::Exec(ExecError::ZeroThreads).to_string();
+        assert!(msg.contains("at least one worker"), "{msg}");
+    }
+
+    #[test]
+    fn bad_frames_answer_typed_errors_without_shutdown() {
+        let svc = FleetService::new(1, SharedCampaignCache::new()).expect("valid");
+        let (resp, shutdown) = respond("nonsense", &svc, None);
+        assert!(!shutdown);
+        let Response::Error { proto, code, .. } = resp else {
+            panic!("expected an error frame");
+        };
+        assert_eq!((proto, code.as_str()), (PROTO_VERSION, "malformed"));
+
+        let (resp, _) = respond("{\"kind\":\"reboot\"}", &svc, None);
+        let Response::Error { code, .. } = resp else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(code, "unknown-kind");
+
+        let (resp, _) = respond(
+            "{\"client\":\"c\",\"job\":0,\"kind\":\"status\"}",
+            &svc,
+            None,
+        );
+        let Response::Error { code, .. } = resp else {
+            panic!("expected an error frame");
+        };
+        assert_eq!(code, "unknown-job");
+
+        let (resp, shutdown) = respond("{\"kind\":\"shutdown\"}", &svc, None);
+        assert_eq!(resp, Response::Bye);
+        assert!(shutdown);
+    }
+
+    #[test]
+    fn artifact_paths_sanitize_hostile_client_names() {
+        let dir = std::env::temp_dir().join(format!("fleet-daemon-test-{}", std::process::id()));
+        let dir = dir.to_string_lossy().into_owned();
+        write_artifacts(&dir, "../../etc", 0, "t\n", "# EOF\n").expect("writes");
+        let written = format!("{dir}/______etc/job0/trace.jsonl");
+        assert_eq!(std::fs::read_to_string(written).expect("exists"), "t\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

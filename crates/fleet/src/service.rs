@@ -1,0 +1,533 @@
+//! The fleet scheduler: jobs, fair per-client queues, and the worker pool.
+//!
+//! A [`FleetService`] multiplexes characterization jobs from many clients
+//! onto a bounded pool of worker threads. Scheduling is *fair FIFO per
+//! client*: each client owns a FIFO queue of chip units, and workers deal
+//! one unit per client in round-robin order, so a client submitting a
+//! thousand-chip fleet cannot starve a client submitting three chips.
+//!
+//! Determinism is preserved by construction, not by scheduling luck:
+//!
+//! * every chip runs the stock [`Campaign::run`] pipeline, staging its
+//!   sealed records in a private per-chip buffer;
+//! * a job's merged stream is produced only after the whole job completes,
+//!   by re-sealing the per-chip streams in canonical chip order
+//!   ([`merge_streams`]) — which worker finished first never shows;
+//! * the shared campaign cache keys entries by chip identity, so within a
+//!   cold pass over distinct chips no lookup can observe a sibling's
+//!   concurrent progress, and a warm pass replays every probe.
+//!
+//! Per-client isolation falls out of the job structure: results live in a
+//! per-job vector indexed by canonical chip position, so one client's
+//! records can never interleave into another client's stream.
+
+use crate::proto::{FleetSpec, SpecError};
+use margins_core::cache::SharedCampaignCache;
+use margins_core::config::CampaignConfig;
+use margins_core::exec::{CacheHandle, ExecContext, ExecError, ThreadPoolExecutor};
+use margins_core::profile::PhaseTallies;
+use margins_core::runner::Campaign;
+use margins_sim::ChipSpec;
+use margins_trace::{merge_streams, MemorySink, MetricsRegistry, Sink, TraceRecord};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A job identifier, unique within one service instance.
+pub type JobId = u64;
+
+/// A job's progress, as reported to status requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// `"queued"`, `"running"`, `"done"` or `"cancelled"`.
+    pub state: &'static str,
+    /// Chips completed.
+    pub done: u32,
+    /// Chips total.
+    pub total: u32,
+}
+
+/// A completed job's merged deterministic outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResults {
+    /// Chips characterized.
+    pub chips: u32,
+    /// Classified runs over the whole fleet.
+    pub runs: u64,
+    /// Watchdog power cycles over the whole fleet.
+    pub power_cycles: u64,
+    /// Kernel ops executed on simulated boards over the whole fleet —
+    /// 0 when every probe was answered from the shared cache.
+    pub executed_ops: u64,
+    /// The merged margins-trace JSONL stream, canonical chip order.
+    pub trace: String,
+    /// The OpenMetrics exposition of the merged stream.
+    pub metrics: String,
+}
+
+/// How a waited-on job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Every chip completed; the merged outputs.
+    Done(FleetResults),
+    /// The job was cancelled before completing.
+    Cancelled,
+    /// A campaign failed with a typed executor error.
+    Failed(ExecError),
+}
+
+/// One chip's buffered campaign outputs, index-aligned with the job's
+/// canonical chip list.
+struct ChipOutcome {
+    records: Vec<TraceRecord>,
+    tallies: PhaseTallies,
+    runs: u64,
+    power_cycles: u32,
+}
+
+/// One schedulable unit: chip `chip` of job `job`.
+#[derive(Debug, Clone, Copy)]
+struct Unit {
+    job: JobId,
+    chip: usize,
+}
+
+struct Job {
+    client: String,
+    chips: Vec<ChipSpec>,
+    config: CampaignConfig,
+    results: Vec<Option<ChipOutcome>>,
+    completed: u32,
+    dispatched: u32,
+    cancelled: bool,
+    failed: Option<ExecError>,
+    merged: Option<FleetResults>,
+}
+
+impl Job {
+    fn total(&self) -> u32 {
+        self.chips.len() as u32
+    }
+
+    fn finished(&self) -> bool {
+        self.cancelled || self.failed.is_some() || self.completed == self.total()
+    }
+}
+
+#[derive(Default)]
+struct SchedState {
+    next_job: JobId,
+    jobs: BTreeMap<JobId, Job>,
+    /// Per-client FIFO queues of pending units.
+    queues: BTreeMap<String, VecDeque<Unit>>,
+    /// Clients in admission order — the round-robin ring.
+    ring: Vec<String>,
+    /// Next ring position to serve.
+    cursor: usize,
+    stopping: bool,
+}
+
+impl SchedState {
+    /// Pops the next unit fairly: one unit per client, round-robin over
+    /// the admission ring, FIFO within each client.
+    fn next_unit(&mut self) -> Option<Unit> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        for probe in 0..self.ring.len() {
+            let at = (self.cursor + probe) % self.ring.len();
+            if let Some(queue) = self.queues.get_mut(&self.ring[at]) {
+                if let Some(unit) = queue.pop_front() {
+                    self.cursor = (at + 1) % self.ring.len();
+                    return Some(unit);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The fleet characterization service. See the module docs for the
+/// scheduling and determinism contract.
+pub struct FleetService {
+    workers: usize,
+    executor: ThreadPoolExecutor,
+    cache: SharedCampaignCache,
+    state: Mutex<SchedState>,
+    /// Signalled when a unit is enqueued or the service stops.
+    work: Condvar,
+    /// Signalled when a job finishes, is cancelled, or fails.
+    done: Condvar,
+}
+
+impl FleetService {
+    /// A service with `workers` scheduler workers sharing `cache`.
+    ///
+    /// Worker validation reuses the executor contract: `0` is
+    /// [`ExecError::ZeroThreads`], counts above
+    /// [`ThreadPoolExecutor::MAX_THREADS`] are
+    /// [`ExecError::TooManyThreads`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] for an invalid worker count.
+    pub fn new(workers: usize, cache: SharedCampaignCache) -> Result<FleetService, ExecError> {
+        let executor = ThreadPoolExecutor::new(workers)?;
+        Ok(FleetService {
+            workers,
+            executor,
+            cache,
+            state: Mutex::new(SchedState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    }
+
+    /// The shared campaign cache all jobs read and feed.
+    #[must_use]
+    pub fn cache(&self) -> &SharedCampaignCache {
+        &self.cache
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Locks the scheduler state, recovering from poisoning: state is
+    /// only mutated in short sections that cannot unwind halfway, so a
+    /// poisoned lock still holds a consistent value.
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `body` with the worker pool live, then stops the pool.
+    ///
+    /// Workers are scoped to this call: they start before `body` runs and
+    /// are joined before it returns. When `body` returns, in-flight chips
+    /// finish but queued units are abandoned — callers that need results
+    /// must [`FleetService::wait`] for them inside `body`.
+    pub fn run<R>(&self, body: impl FnOnce() -> R) -> R {
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop());
+            }
+            let out = body();
+            {
+                let mut state = self.lock_state();
+                state.stopping = true;
+            }
+            self.work.notify_all();
+            out
+        })
+    }
+
+    /// Submits a fleet for `client`; returns the job id and chip count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] when the spec does not validate into a campaign.
+    pub fn submit(&self, client: &str, spec: &FleetSpec) -> Result<(JobId, u32), SpecError> {
+        let config = spec.campaign_config()?;
+        let chips = spec.chip_specs();
+        let total = chips.len() as u32;
+        let job_id = {
+            let mut state = self.lock_state();
+            let job_id = state.next_job;
+            state.next_job += 1;
+            let results = chips.iter().map(|_| None).collect();
+            state.jobs.insert(
+                job_id,
+                Job {
+                    client: client.to_owned(),
+                    chips,
+                    config,
+                    results,
+                    completed: 0,
+                    dispatched: 0,
+                    cancelled: false,
+                    failed: None,
+                    merged: None,
+                },
+            );
+            if !state.ring.iter().any(|c| c == client) {
+                state.ring.push(client.to_owned());
+            }
+            let units = (0..total as usize).map(|chip| Unit { job: job_id, chip });
+            state
+                .queues
+                .entry(client.to_owned())
+                .or_default()
+                .extend(units);
+            job_id
+        };
+        self.work.notify_all();
+        Ok((job_id, total))
+    }
+
+    /// A job's progress; `None` for an unknown (client, job) pair.
+    #[must_use]
+    pub fn status(&self, client: &str, job: JobId) -> Option<JobStatus> {
+        let state = self.lock_state();
+        let j = state.jobs.get(&job).filter(|j| j.client == client)?;
+        let label = if j.cancelled {
+            "cancelled"
+        } else if j.completed == j.total() {
+            "done"
+        } else if j.dispatched > 0 {
+            "running"
+        } else {
+            "queued"
+        };
+        Some(JobStatus {
+            state: label,
+            done: j.completed,
+            total: j.total(),
+        })
+    }
+
+    /// Cancels a job's queued chips; in-flight chips finish and are
+    /// discarded with the job. Returns `false` for an unknown pair.
+    pub fn cancel(&self, client: &str, job: JobId) -> bool {
+        let mut state = self.lock_state();
+        let Some(j) = state.jobs.get_mut(&job).filter(|j| j.client == client) else {
+            return false;
+        };
+        if !j.finished() {
+            j.cancelled = true;
+        }
+        let cancelled = j.cancelled;
+        if let Some(queue) = state.queues.get_mut(client) {
+            queue.retain(|u| u.job != job);
+        }
+        drop(state);
+        self.done.notify_all();
+        cancelled
+    }
+
+    /// Blocks until `job` finishes and returns how it ended; `None` for
+    /// an unknown (client, job) pair.
+    ///
+    /// The merged outputs are computed once, on the first wait, and
+    /// memoized for subsequent calls.
+    #[must_use]
+    pub fn wait(&self, client: &str, job: JobId) -> Option<JobOutcome> {
+        let mut state = self.lock_state();
+        loop {
+            let j = state.jobs.get(&job).filter(|j| j.client == client)?;
+            if j.cancelled {
+                return Some(JobOutcome::Cancelled);
+            }
+            if let Some(e) = j.failed {
+                return Some(JobOutcome::Failed(e));
+            }
+            if j.completed == j.total() {
+                break;
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Merge outside the hot path but under the lock: results are
+        // consumed exactly once and the merge is a pure function of them.
+        let j = state.jobs.get_mut(&job)?;
+        if j.merged.is_none() {
+            let outcomes: Vec<ChipOutcome> = j
+                .results
+                .iter_mut()
+                .map(|slot| slot.take().expect("completed job has every chip result"))
+                .collect();
+            j.merged = Some(merge_outcomes(j.total(), &outcomes));
+        }
+        j.merged.clone().map(JobOutcome::Done)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (unit, spec, config) = {
+                let mut state = self.lock_state();
+                loop {
+                    if state.stopping {
+                        return;
+                    }
+                    if let Some(unit) = state.next_unit() {
+                        let Some(j) = state.jobs.get_mut(&unit.job) else {
+                            continue;
+                        };
+                        j.dispatched += 1;
+                        let spec = j.chips[unit.chip];
+                        let config = j.config.clone();
+                        break (unit, spec, config);
+                    }
+                    state = self
+                        .work
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+
+            let result = self.run_chip(spec, &config);
+
+            let mut state = self.lock_state();
+            if let Some(j) = state.jobs.get_mut(&unit.job) {
+                match result {
+                    Ok(outcome) => {
+                        j.results[unit.chip] = Some(outcome);
+                        j.completed += 1;
+                    }
+                    Err(e) => j.failed = Some(e),
+                }
+            }
+            drop(state);
+            self.done.notify_all();
+        }
+    }
+
+    /// Characterizes one chip through the stock campaign pipeline,
+    /// buffering its sealed records for the job-level canonical merge.
+    fn run_chip(&self, spec: ChipSpec, config: &CampaignConfig) -> Result<ChipOutcome, ExecError> {
+        let campaign = Campaign::new(spec, config.clone());
+        let mut buffer = MemorySink::new();
+        let mut tallies = PhaseTallies::new();
+        let outcome = {
+            let mut sinks: Vec<&mut dyn Sink> = vec![&mut buffer];
+            campaign.run(
+                &self.executor,
+                ExecContext {
+                    sinks: &mut sinks,
+                    cache: Some(CacheHandle::Shared(&self.cache)),
+                    priors: None,
+                    metrics: None,
+                    profile_out: Some(&mut tallies),
+                },
+            )?
+        };
+        Ok(ChipOutcome {
+            records: buffer.records,
+            tallies,
+            runs: outcome.runs.len() as u64,
+            power_cycles: outcome.watchdog_power_cycles,
+        })
+    }
+}
+
+/// Folds a job's per-chip outcomes (canonical chip order) into the merged
+/// deliverables: one re-sealed JSONL stream, one metrics exposition, and
+/// the fleet-level tallies.
+fn merge_outcomes(chips: u32, outcomes: &[ChipOutcome]) -> FleetResults {
+    let records = merge_streams(outcomes.iter().map(|o| o.records.as_slice()));
+    let mut trace = String::new();
+    for record in &records {
+        match record.to_json_line() {
+            Ok(line) => {
+                trace.push_str(&line);
+                trace.push('\n');
+            }
+            // Non-encodable records never leave `Campaign::run`; skipping
+            // defensively keeps the merge total.
+            Err(_) => continue,
+        }
+    }
+    let mut registry = MetricsRegistry::new();
+    for record in &records {
+        registry.emit(record);
+    }
+    registry.finish();
+    let mut tallies = PhaseTallies::new();
+    for o in outcomes {
+        tallies.merge(&o.tallies);
+    }
+    FleetResults {
+        chips,
+        runs: outcomes.iter().map(|o| o.runs).sum(),
+        power_cycles: outcomes.iter().map(|o| u64::from(o.power_cycles)).sum(),
+        executed_ops: tallies.executed_ops(),
+        trace,
+        metrics: registry.to_openmetrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::FleetSpec;
+    use margins_core::search::SearchStrategy;
+    use margins_sim::Corner;
+
+    fn tiny_spec(chips: u32) -> FleetSpec {
+        FleetSpec {
+            corner: Corner::Ttt,
+            first_serial: 10,
+            chips,
+            benchmarks: vec!["namd".into()],
+            cores: vec![0],
+            iterations: 1,
+            start_mv: 890,
+            floor_mv: 885,
+            seed: 11,
+            search: SearchStrategy::Exhaustive,
+        }
+    }
+
+    #[test]
+    fn worker_validation_reuses_executor_errors() {
+        assert_eq!(
+            FleetService::new(0, SharedCampaignCache::new()).err(),
+            Some(ExecError::ZeroThreads)
+        );
+        assert!(matches!(
+            FleetService::new(100_000, SharedCampaignCache::new()).err(),
+            Some(ExecError::TooManyThreads { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_status_wait_lifecycle() {
+        let svc = FleetService::new(2, SharedCampaignCache::new()).expect("valid");
+        let results = svc.run(|| {
+            let (job, chips) = svc.submit("lab", &tiny_spec(2)).expect("valid spec");
+            assert_eq!(chips, 2);
+            let outcome = svc.wait("lab", job).expect("known job");
+            let status = svc.status("lab", job).expect("known job");
+            assert_eq!(status.state, "done");
+            assert_eq!((status.done, status.total), (2, 2));
+            // Unknown pairs are None, including a client/job mismatch.
+            assert!(svc.status("intruder", job).is_none());
+            assert!(svc.wait("lab", job + 1).is_none());
+            match outcome {
+                JobOutcome::Done(r) => r,
+                other => panic!("expected Done, got {other:?}"),
+            }
+        });
+        assert_eq!(results.chips, 2);
+        assert!(results.runs > 0);
+        assert!(results.executed_ops > 0, "cold pass must probe boards");
+        assert!(results.trace.ends_with('\n'));
+        assert!(results.metrics.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn cancel_drops_queued_chips_and_unblocks_waiters() {
+        // Zero live workers inside `run` is impossible (validated), so
+        // cancel a job before starting the pool: every unit is queued.
+        let svc = FleetService::new(1, SharedCampaignCache::new()).expect("valid");
+        let (job, _) = svc.submit("lab", &tiny_spec(4)).expect("valid spec");
+        assert!(svc.cancel("lab", job));
+        assert!(!svc.cancel("nobody", job));
+        assert_eq!(svc.status("lab", job).map(|s| s.state), Some("cancelled"));
+        let outcome = svc.run(|| svc.wait("lab", job));
+        assert_eq!(outcome, Some(JobOutcome::Cancelled));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_scheduling() {
+        let svc = FleetService::new(1, SharedCampaignCache::new()).expect("valid");
+        let err = svc
+            .submit("lab", &tiny_spec(0))
+            .expect_err("zero chips must be rejected");
+        assert_eq!(err, SpecError::NoChips);
+    }
+}

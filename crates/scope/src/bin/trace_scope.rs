@@ -7,6 +7,8 @@
 //! trace-scope metrics <file.jsonl | dir>... [--out FILE]
 //! trace-scope profile <file.jsonl | dir>... [--format md|json] [--out FILE]
 //! trace-scope profile diff <A.jsonl> <B.jsonl> [--out FILE]
+//! trace-scope merge <file.jsonl | dir>... [--out FILE]
+//! trace-scope fleet <file.jsonl | dir>... [--format md|csv] [--out FILE]
 //! ```
 //!
 //! * `summary` folds every stream into one report (markdown by default).
@@ -18,11 +20,17 @@
 //! * `profile` folds the profiling plane into a hotspot report; `profile
 //!   diff` compares the work accounting of two streams and exits 0
 //!   identical, 4 work drift, 5 phase divergence.
+//! * `merge` concatenates streams in file order and re-seals them through
+//!   one `StreamFinalizer`, producing a single valid stream — the serial
+//!   baseline that fleet-daemon output is diffed against.
+//! * `fleet` folds a merged multi-campaign stream into per-chip rollups.
 //!
 //! All outputs are byte-deterministic functions of the input records.
 
-use margins_scope::{diff, markdown, profile, summarize_records, DiffReport};
-use margins_trace::{collect_jsonl, read_jsonl, reconstruct, MetricsRegistry, Sink, TraceRecord};
+use margins_scope::{diff, fleet_report, markdown, profile, summarize_records, DiffReport};
+use margins_trace::{
+    collect_jsonl, merge_streams, read_jsonl, reconstruct, MetricsRegistry, Sink, TraceRecord,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -42,7 +50,12 @@ commands:
       by work share, per-sweep probe cost, step-work attribution)
   profile diff <A.jsonl> <B.jsonl> [--out FILE]
       compare the work accounting of two streams; exit 0 identical,
-      4 work drift, 5 phase divergence";
+      4 work drift, 5 phase divergence
+  merge <file.jsonl | dir>... [--out FILE]
+      concatenate the streams in file order and re-seal sequence numbers
+      and the modelled clock into one valid stream
+  fleet <file.jsonl | dir>... [--format md|csv] [--out FILE]
+      fold a merged multi-campaign stream into per-chip rollups";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +71,8 @@ fn main() -> ExitCode {
             Some((sub, tail)) if sub == "diff" => cmd_profile_diff(tail),
             _ => cmd_profile(rest),
         },
+        "merge" => cmd_merge(rest),
+        "fleet" => cmd_fleet(rest),
         other => {
             eprintln!("trace-scope: unknown command '{other}'\n{USAGE}");
             ExitCode::from(2)
@@ -275,6 +290,105 @@ fn profile_of_paths(paths: &[String]) -> Result<profile::ProfileReport, String> 
     let records = read_streams(paths)?;
     let tree = reconstruct(&records).map_err(|e| e.to_string())?;
     Ok(profile::report(&tree))
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if !o.paths.is_empty() => o,
+        Ok(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_jsonl(&opts.paths) {
+        Ok(f) if !f.is_empty() => f,
+        Ok(_) => {
+            eprintln!("trace-scope: no .jsonl files found under the given paths");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut streams = Vec::new();
+    for path in &files {
+        match read_one(path) {
+            Ok(records) => streams.push(records),
+            Err(e) => {
+                eprintln!("trace-scope: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let merged = merge_streams(streams.iter().map(Vec::as_slice));
+    let mut out = String::new();
+    for record in &merged {
+        match record.to_json_line() {
+            Ok(line) => {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Err(e) => {
+                eprintln!("trace-scope: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match deliver(&out, opts.out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) if !o.paths.is_empty() && o.format != "json" => o,
+        Ok(o) if o.format == "json" => {
+            eprintln!("trace-scope: fleet rollups render as md or csv\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        Ok(_) => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("trace-scope: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match read_streams(&opts.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match fleet_report(&records) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match opts.format.as_str() {
+        "csv" => report.csv(),
+        _ => report.markdown(),
+    };
+    match deliver(&rendered, opts.out.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-scope: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_metrics(args: &[String]) -> ExitCode {

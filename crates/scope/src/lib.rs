@@ -21,18 +21,22 @@
 //!   reports (top phases and kernels by work share, per-sweep probe cost,
 //!   step-work attribution) plus a work-accounting differ with its own
 //!   CI exit codes.
+//! * [`fleet`] — per-chip rollups over a merged multi-campaign stream,
+//!   the shape `voltmargin serve` produces for each client.
 //!
-//! The `trace-scope` binary exposes all four over the command line.
+//! The `trace-scope` binary exposes all of these over the command line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod fleet;
 pub mod profile;
 pub mod render;
 pub mod summary;
 
 pub use diff::{diff, DiffReport, Divergence, DivergenceClass};
+pub use fleet::{fleet_report, ChipRollup, FleetReport};
 pub use profile::{PhaseWork, ProfileDivergence, ProfileReport, SweepProfile};
 pub use render::{csv, json, markdown};
 pub use summary::{

@@ -52,7 +52,7 @@ pub mod validate;
 pub use event::{EncodeError, TraceEvent, TraceRecord};
 pub use files::collect_jsonl;
 pub use metrics::{Histogram, MergeError, MetricsRegistry};
-pub use observer::{EventBuffer, NullObserver, Observer, StreamFinalizer};
+pub use observer::{merge_streams, EventBuffer, NullObserver, Observer, StreamFinalizer};
 pub use reader::{read_jsonl, ParseFailure};
 pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
 pub use span::{reconstruct, span_path_at, CampaignSpan, SpanError, SpanTree, SweepSpan};

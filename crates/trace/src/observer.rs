@@ -128,6 +128,32 @@ impl StreamFinalizer {
     }
 }
 
+/// Re-seals several finalized record streams into one canonical stream.
+///
+/// Concatenating sealed streams byte-for-byte is never valid: each input
+/// starts its own sequence at 0 and its own modelled clock at 0, so the
+/// result would violate the dense-sequence and monotonic-time contracts
+/// [`validate_records`](crate::validate::validate_records) enforces.
+/// Instead the merge strips every record back to its raw event and stamps
+/// the whole concatenation through **one** fresh [`StreamFinalizer`] — a
+/// pure function of the inputs and their order, so merging N per-chip
+/// fleet streams in canonical chip order yields bytes identical to N
+/// sequential campaigns sealed through a single finalizer.
+#[must_use]
+pub fn merge_streams<'a, I>(streams: I) -> Vec<TraceRecord>
+where
+    I: IntoIterator<Item = &'a [TraceRecord]>,
+{
+    let mut finalizer = StreamFinalizer::new();
+    let mut merged = Vec::new();
+    for stream in streams {
+        for record in stream {
+            merged.push(finalizer.seal(record.event.clone()));
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +204,37 @@ mod tests {
         let obs = NullObserver;
         assert!(!obs.enabled());
         obs.record(&run(0.1)); // must be a no-op
+    }
+
+    #[test]
+    fn merge_reseals_sequence_and_clock_across_streams() {
+        let mut fin = StreamFinalizer::new();
+        let first: Vec<TraceRecord> = vec![fin.seal(run(0.25)), fin.seal(run(0.5))];
+        let mut fin = StreamFinalizer::new();
+        let second: Vec<TraceRecord> = vec![fin.seal(run(1.0))];
+
+        // Both inputs restart seq/clock at zero; the merge must not.
+        let merged = merge_streams([first.as_slice(), second.as_slice()]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!((merged[2].t_model_s - 1.75).abs() < 1e-12);
+
+        // Merging is exactly "seal the concatenated events once": a single
+        // finalizer over the same events produces identical records.
+        let mut fin = StreamFinalizer::new();
+        let direct: Vec<TraceRecord> = [&first[..], &second[..]]
+            .concat()
+            .into_iter()
+            .map(|r| fin.seal(r.event))
+            .collect();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_streams(std::iter::empty::<&[TraceRecord]>()).is_empty());
     }
 }

@@ -7,6 +7,7 @@
 //!     --iterations 10 --out-dir ./out
 //! voltmargin profile --chip ttt --benchmarks bwaves,mcf --core 0
 //! voltmargin govern --chip ttt --tasks bwaves,leslie3d,milc,namd --max-loss 0.25
+//! voltmargin serve --addr 127.0.0.1:4750 --workers 4 --cache fleet-cache.jsonl
 //! voltmargin list-benchmarks
 //! ```
 
@@ -51,9 +52,12 @@ commands:
   characterize   sweep the PMD (or SoC) rail and print/export regions
   profile        run benchmarks at nominal and print key PMU counters
   govern         plan undervolted operating points for a task set
+  serve          run the fleet characterization daemon (line-delimited
+                 JSON protocol: submit/status/cancel/results/shutdown)
   cache compact FILE   rewrite a campaign-cache JSONL file in canonical
                        form, dropping superseded duplicate entries
-  list-benchmarks
+  list-benchmarks      list characterizable workloads
+  help                 print this usage text
 
 common options:
   --chip ttt|tff|tss        chip corner (default ttt)
@@ -84,7 +88,14 @@ common options:
                             phases; emits deterministic ProfileSample /
                             ProfilePhase records into the trace stream
   --profile-timing FILE     (characterize) write a wall-clock timing sidecar;
-                            host time never enters traces, CSVs or metrics";
+                            host time never enters traces, CSVs or metrics
+  --addr HOST:PORT          (serve) bind address (default 127.0.0.1:4750;
+                            port 0 picks a free port — the chosen address is
+                            printed as `listening on ADDR` on stdout)
+  --workers N               (serve) scheduler worker threads (default 4);
+                            serve also honours --cache (shared campaign
+                            cache, loaded at start, saved at shutdown) and
+                            --out-dir (per-client job artifacts)";
 
 fn run(args: &[String]) -> Result<(), String> {
     // `cache` takes a positional subcommand, not --flags; dispatch it
@@ -97,6 +108,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "characterize" => characterize(&mut opts),
         "profile" => profile_cmd(&mut opts),
         "govern" => govern(&mut opts),
+        "serve" => serve_cmd(&opts),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
         "list-benchmarks" => {
             for name in voltmargin::workloads::suite::ALL_NAMES {
                 let train = voltmargin::workloads::suite::TRAIN_DATASET_NAMES.contains(&name);
@@ -134,6 +150,22 @@ fn cache_cmd(args: &[String]) -> Result<(), String> {
         Some(other) => Err(format!("unknown cache subcommand '{other}' (compact)")),
         None => Err("cache needs a subcommand (compact)".into()),
     }
+}
+
+/// `voltmargin serve`: run the fleet characterization daemon until a
+/// client sends a `shutdown` frame.
+fn serve_cmd(opts: &Options) -> Result<(), String> {
+    let config = voltmargin::fleet::ServeConfig {
+        addr: opts
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4750".to_owned()),
+        workers: opts.parse_num("workers", 4usize)?,
+        cache_path: opts.flags.get("cache").cloned(),
+        out_dir: opts.flags.get("out-dir").cloned(),
+    };
+    voltmargin::fleet::serve(&config).map_err(|e| e.to_string())
 }
 
 struct Options {

@@ -18,6 +18,7 @@
 //! | [`predict`] | `margins-predict` | OLS / RFE / metrics |
 //! | [`energy`] | `margins-energy` | power model, governor, tradeoffs |
 //! | [`trace`] | `margins-trace` | campaign telemetry: events, metrics, sinks |
+//! | [`fleet`] | `margins-fleet` | fleet characterization daemon + wire protocol |
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use margins_core as characterize;
 pub use margins_ecc as ecc;
 pub use margins_energy as energy;
+pub use margins_fleet as fleet;
 pub use margins_predict as predict;
 pub use margins_sim as sim;
 pub use margins_trace as trace;

@@ -1,6 +1,8 @@
 //! End-to-end tests of the `voltmargin` command-line tool.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
 
 fn voltmargin(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_voltmargin"))
@@ -459,5 +461,184 @@ fn cache_compact_reports_clean_errors() {
     let out = voltmargin(&["cache", "polish"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown cache subcommand"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_names_every_subcommand() {
+    let out = voltmargin(&["help"]);
+    assert!(out.status.success(), "help exits 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for command in [
+        "characterize",
+        "profile",
+        "govern",
+        "serve",
+        "cache compact",
+        "list-benchmarks",
+        "help",
+    ] {
+        assert!(stdout.contains(command), "help must name '{command}'");
+    }
+    // The error path prints the same usage text, so the two can never
+    // drift apart.
+    let err = voltmargin(&["explode"]);
+    let stderr = String::from_utf8(err.stderr).unwrap();
+    assert!(stderr.contains("serve"), "usage on stderr names serve");
+}
+
+#[test]
+fn serve_rejects_zero_workers_with_a_typed_error() {
+    let out = voltmargin(&["serve", "--addr", "127.0.0.1:0", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error: serve:"), "stderr: {stderr}");
+    assert!(stderr.contains("at least one"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_reports_bind_failures() {
+    // Occupy a port, then ask the daemon to bind it.
+    let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = blocker.local_addr().unwrap().to_string();
+    let out = voltmargin(&["serve", "--addr", &addr, "--workers", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains(&format!("cannot bind {addr}")),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_answers_clients_and_shuts_down_cleanly() {
+    use voltmargin::characterize::search::SearchStrategy;
+    use voltmargin::fleet::{FleetSpec, Request, Response, PROTO_VERSION};
+    use voltmargin::sim::Corner;
+
+    let dir = std::env::temp_dir().join(format!("voltmargin-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("fleet-cache.jsonl");
+    let out_dir = dir.join("artifacts");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_voltmargin"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            cache.to_str().unwrap(),
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+
+    // Port 0 means the daemon prints the address it actually bound.
+    let mut child_stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    child_stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_owned();
+
+    let stream = TcpStream::connect(&addr).expect("daemon accepts");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut exchange = |line: &str| -> Response {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::parse_line(&reply).expect("daemon frames decode")
+    };
+
+    // Hostile bytes never kill the connection — they are answered with
+    // typed, versioned error frames.
+    let Response::Error { proto, code, .. } = exchange("this is not json") else {
+        panic!("garbage must yield an error frame");
+    };
+    assert_eq!((proto, code.as_str()), (PROTO_VERSION, "malformed"));
+    let Response::Error { code, .. } = exchange("{\"kind\":\"reboot\"}") else {
+        panic!("unknown kinds must yield an error frame");
+    };
+    assert_eq!(code, "unknown-kind");
+
+    // A real characterization round trip.
+    let spec = FleetSpec {
+        corner: Corner::Ttt,
+        first_serial: 7,
+        chips: 2,
+        benchmarks: vec!["namd".into()],
+        cores: vec![0],
+        iterations: 1,
+        start_mv: 890,
+        floor_mv: 885,
+        seed: 5,
+        search: SearchStrategy::Exhaustive,
+    };
+    let bad = Request::Submit {
+        client: "ci".into(),
+        spec: FleetSpec {
+            chips: 0,
+            ..spec.clone()
+        },
+    };
+    let Response::Error { code, message, .. } = exchange(&bad.to_line()) else {
+        panic!("invalid specs must yield an error frame");
+    };
+    assert_eq!(code, "bad-spec");
+    assert!(message.contains("at least one chip"), "{message}");
+
+    let submit = Request::Submit {
+        client: "ci".into(),
+        spec,
+    };
+    let Response::Submitted { job, chips } = exchange(&submit.to_line()) else {
+        panic!("valid submits are acknowledged");
+    };
+    assert_eq!(chips, 2);
+
+    let results = Request::Results {
+        client: "ci".into(),
+        job,
+    };
+    let Response::Results {
+        chips,
+        executed_ops,
+        trace,
+        metrics,
+        ..
+    } = exchange(&results.to_line())
+    else {
+        panic!("results arrive for a completed job");
+    };
+    assert_eq!(chips, 2);
+    assert!(executed_ops > 0, "cold run probes boards");
+    assert!(trace.contains("TTT#7") && trace.contains("TTT#8"));
+    assert!(metrics.ends_with("# EOF\n"));
+
+    assert_eq!(exchange(&Request::Shutdown.to_line()), Response::Bye);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown exits 0");
+
+    // The shared cache was persisted and per-client artifacts written.
+    let persisted = std::fs::read_to_string(&cache).unwrap();
+    assert!(persisted.lines().count() > 0, "cache file has entries");
+    let artifact = out_dir.join("ci").join(format!("job{job}"));
+    assert_eq!(
+        std::fs::read_to_string(artifact.join("trace.jsonl")).unwrap(),
+        trace
+    );
+    assert_eq!(
+        std::fs::read_to_string(artifact.join("metrics.om")).unwrap(),
+        metrics
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -28,7 +28,7 @@ fn campaign() -> Campaign {
         .iterations(2)
         .start_voltage(Millivolts::new(915))
         .floor_voltage(Millivolts::new(885))
-        .seed(0x0DDB_A11)
+        .seed(0x00DD_BA11)
         .profile(true)
         .build()
         .expect("static campaign config is valid");

@@ -1,0 +1,411 @@
+//! Property tests for the fleet wire protocol.
+//!
+//! Mirrors the campaign-cache property suite: every property lives in a
+//! plain helper function exercised twice — by deterministic example tests
+//! (always run) and by proptest wrappers drawing arbitrary frames.
+//!
+//! The properties under test are the protocol's three contracts:
+//!
+//! 1. encoding is canonical and lossless — `parse_line(to_line(x)) == x`;
+//! 2. decoding is total — truncated or corrupt bytes yield a typed
+//!    [`ProtoError`], never a panic;
+//! 3. unknown `kind` discriminators are rejected with the protocol
+//!    version attached.
+
+use proptest::prelude::*;
+use voltmargin::characterize::search::SearchStrategy;
+use voltmargin::fleet::{FleetSpec, ProtoError, Request, Response, PROTO_VERSION};
+use voltmargin::sim::Corner;
+
+// ---------------------------------------------------------------------
+// Properties as plain functions
+// ---------------------------------------------------------------------
+
+fn assert_request_roundtrips(frame: &Request) {
+    let line = frame.to_line();
+    assert!(!line.contains('\n'), "frames are single lines: {line}");
+    let back = Request::parse_line(&line).expect("canonical frame decodes");
+    assert_eq!(&back, frame, "lossless round trip for {line}");
+    // The encoding is canonical: re-encoding the decoded frame is
+    // byte-identical.
+    assert_eq!(back.to_line(), line);
+}
+
+fn assert_response_roundtrips(frame: &Response) {
+    let line = frame.to_line();
+    assert!(!line.contains('\n'), "frames are single lines: {line}");
+    let back = Response::parse_line(&line).expect("canonical frame decodes");
+    assert_eq!(&back, frame, "lossless round trip for {line}");
+    assert_eq!(back.to_line(), line);
+}
+
+/// Decoding arbitrary bytes must return `Ok` or a typed error — it must
+/// never panic, whatever the input.
+fn assert_decode_is_total(line: &str) {
+    let _ = Request::parse_line(line);
+    let _ = Response::parse_line(line);
+}
+
+/// Every proper prefix of a valid frame decodes to a typed error (a
+/// truncated line is never accepted and never panics).
+fn assert_truncations_are_typed_errors(whole: &str) {
+    for cut in 0..whole.len() {
+        if !whole.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &whole[..cut];
+        let err = Request::parse_line(prefix).expect_err("a proper prefix cannot decode");
+        assert!(
+            matches!(
+                err,
+                ProtoError::Malformed { .. }
+                    | ProtoError::NotAnObject
+                    | ProtoError::MissingField { .. }
+                    | ProtoError::BadField { .. }
+            ),
+            "cut at {cut}: {err:?}"
+        );
+    }
+}
+
+fn assert_unknown_kind_is_versioned(kind: &str) {
+    let line = format!("{{\"kind\":{}}}", margins_json_string(kind));
+    let err = Request::parse_line(&line).expect_err("unknown kind rejected");
+    assert_eq!(
+        err,
+        ProtoError::UnknownKind {
+            kind: kind.to_owned(),
+            proto: PROTO_VERSION,
+        }
+    );
+    let Response::Error { proto, code, .. } = err.to_response() else {
+        panic!("decode failures become error frames");
+    };
+    assert_eq!((proto, code.as_str()), (PROTO_VERSION, "unknown-kind"));
+}
+
+/// Renders a string as a JSON string token via the deterministic layer.
+fn margins_json_string(s: &str) -> String {
+    voltmargin::trace::json::render(&voltmargin::trace::json::Value::from_str_val(s))
+}
+
+// ---------------------------------------------------------------------
+// Generators
+//
+// Frames are derived deterministically from one u64 seed through a
+// splitmix-style mixer, so a single `any::<u64>()` strategy covers the
+// whole frame space — and the same builders drive the deterministic
+// example twins below.
+// ---------------------------------------------------------------------
+
+/// Strings that stress JSON escaping: quotes, backslashes, control
+/// characters, non-ASCII, embedded "JSON".
+fn tricky_strings() -> Vec<String> {
+    vec![
+        String::new(),
+        "rack-a".to_owned(),
+        "rack \"b\"".to_owned(),
+        "back\\slash".to_owned(),
+        "new\nline\r\ttab".to_owned(),
+        "nul\u{0}byte".to_owned(),
+        "ünïcødé — 電圧".to_owned(),
+        "{\"kind\":\"submit\"}".to_owned(),
+    ]
+}
+
+/// splitmix64: advances `state` and returns a well-mixed draw.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn string_from(state: &mut u64) -> String {
+    let pool = tricky_strings();
+    pool[(mix(state) % pool.len() as u64) as usize].clone()
+}
+
+fn spec_from(state: &mut u64) -> FleetSpec {
+    let corner = match mix(state) % 3 {
+        0 => Corner::Ttt,
+        1 => Corner::Tff,
+        _ => Corner::Tss,
+    };
+    let search = match mix(state) % 3 {
+        0 => SearchStrategy::Exhaustive,
+        1 => SearchStrategy::Bisection,
+        _ => SearchStrategy::WarmStart,
+    };
+    let names = ["namd", "mcf", "bwaves"];
+    let benchmarks = (0..mix(state) % 4)
+        .map(|_| names[(mix(state) % names.len() as u64) as usize].to_owned())
+        .collect();
+    let cores = (0..mix(state) % 4)
+        .map(|_| (mix(state) % 16) as u8)
+        .collect();
+    FleetSpec {
+        corner,
+        first_serial: mix(state) % 1_000_000,
+        chips: (mix(state) % 200) as u32,
+        benchmarks,
+        cores,
+        iterations: (mix(state) % 20) as u32,
+        start_mv: 800 + (mix(state) % 200) as u32,
+        floor_mv: 800 + (mix(state) % 200) as u32,
+        seed: mix(state),
+        search,
+    }
+}
+
+fn request_from(seed: u64) -> Request {
+    let mut state = seed;
+    let client = string_from(&mut state);
+    let job = mix(&mut state);
+    match mix(&mut state) % 5 {
+        0 => Request::Submit {
+            client,
+            spec: spec_from(&mut state),
+        },
+        1 => Request::Status { client, job },
+        2 => Request::Cancel { client, job },
+        3 => Request::Results { client, job },
+        _ => Request::Shutdown,
+    }
+}
+
+fn response_from(seed: u64) -> Response {
+    let mut state = seed;
+    let text_a = string_from(&mut state);
+    let text_b = string_from(&mut state);
+    let job = mix(&mut state);
+    match mix(&mut state) % 6 {
+        0 => Response::Submitted {
+            job,
+            chips: mix(&mut state) as u32,
+        },
+        1 => Response::Status {
+            job,
+            state: text_a,
+            done: mix(&mut state) as u32,
+            total: mix(&mut state) as u32,
+        },
+        2 => Response::Cancelled { job },
+        3 => Response::Results {
+            job,
+            chips: mix(&mut state) as u32,
+            runs: mix(&mut state),
+            power_cycles: mix(&mut state),
+            executed_ops: mix(&mut state),
+            trace: text_a,
+            metrics: text_b,
+        },
+        4 => Response::Bye,
+        _ => Response::Error {
+            proto: mix(&mut state) as u32,
+            code: text_a,
+            message: text_b,
+        },
+    }
+}
+
+// Referenced only inside `proptest!`; offline stand-ins of the harness
+// may compile that macro to nothing.
+#[allow(dead_code)]
+fn arb_request() -> impl Strategy<Value = Request> {
+    any::<u64>().prop_map(request_from)
+}
+
+#[allow(dead_code)]
+fn arb_response() -> impl Strategy<Value = Response> {
+    any::<u64>().prop_map(response_from)
+}
+
+// ---------------------------------------------------------------------
+// Deterministic example twins (always run, even where the proptest
+// harness is unavailable)
+// ---------------------------------------------------------------------
+
+fn example_spec() -> FleetSpec {
+    FleetSpec {
+        corner: Corner::Tff,
+        first_serial: 128,
+        chips: 64,
+        benchmarks: vec!["namd".into(), "mcf".into()],
+        cores: vec![0, 4],
+        iterations: 3,
+        start_mv: 890,
+        floor_mv: 870,
+        seed: 41,
+        search: SearchStrategy::WarmStart,
+    }
+}
+
+#[test]
+fn example_requests_roundtrip() {
+    for client in tricky_strings() {
+        assert_request_roundtrips(&Request::Submit {
+            client: client.clone(),
+            spec: example_spec(),
+        });
+        assert_request_roundtrips(&Request::Status {
+            client: client.clone(),
+            job: u64::MAX,
+        });
+        assert_request_roundtrips(&Request::Cancel {
+            client: client.clone(),
+            job: 0,
+        });
+        assert_request_roundtrips(&Request::Results { client, job: 7 });
+    }
+    assert_request_roundtrips(&Request::Shutdown);
+}
+
+#[test]
+fn example_responses_roundtrip() {
+    for text in tricky_strings() {
+        assert_response_roundtrips(&Response::Status {
+            job: 3,
+            state: text.clone(),
+            done: 1,
+            total: 64,
+        });
+        assert_response_roundtrips(&Response::Results {
+            job: 3,
+            chips: 64,
+            runs: 7_680,
+            power_cycles: 12,
+            executed_ops: 0,
+            trace: text.clone(),
+            metrics: text.clone(),
+        });
+        assert_response_roundtrips(&Response::Error {
+            proto: PROTO_VERSION,
+            code: "bad-spec".into(),
+            message: text,
+        });
+    }
+    assert_response_roundtrips(&Response::Submitted { job: 1, chips: 64 });
+    assert_response_roundtrips(&Response::Cancelled { job: 1 });
+    assert_response_roundtrips(&Response::Bye);
+}
+
+#[test]
+fn seeded_frames_roundtrip_and_truncate_safely() {
+    for seed in 0..256u64 {
+        assert_request_roundtrips(&request_from(seed));
+        assert_response_roundtrips(&response_from(seed));
+    }
+    // Truncation is expensive (every prefix of every frame); sample it.
+    for seed in 0..16u64 {
+        assert_truncations_are_typed_errors(&request_from(seed).to_line());
+    }
+}
+
+#[test]
+fn example_truncations_never_decode() {
+    assert_truncations_are_typed_errors(
+        &Request::Submit {
+            client: "rack \"a\"\n".into(),
+            spec: example_spec(),
+        }
+        .to_line(),
+    );
+    assert_truncations_are_typed_errors(
+        &Response::Results {
+            job: 1,
+            chips: 2,
+            runs: 3,
+            power_cycles: 4,
+            executed_ops: 5,
+            trace: "{\"seq\":0}\n".into(),
+            metrics: "# EOF\n".into(),
+        }
+        .to_line(),
+    );
+}
+
+#[test]
+fn example_corrupt_bytes_decode_totally() {
+    for line in [
+        "",
+        "   ",
+        "null",
+        "true",
+        "42",
+        "\"just a string\"",
+        "[1,2,3]",
+        "{}",
+        "{\"kind\":7}",
+        "{\"kind\":\"submit\"}",
+        "{\"kind\":\"submit\",\"client\":\"c\",\"spec\":3}",
+        "{\"kind\":\"status\",\"client\":\"c\",\"job\":\"one\"}",
+        "{\"kind\":\"status\",\"client\":\"c\",\"job\":-1}",
+        "{\"kind\":\"submitted\",\"job\":0,\"chips\":4294967296}",
+        "\u{0}\u{1}\u{2}",
+        "ütterly wröng",
+        "{\"kind\":\"submit\",\"client\":\"c\",\"spec\":{\"corner\":\"xyz\"}}",
+    ] {
+        assert_decode_is_total(line);
+        assert!(
+            Request::parse_line(line).is_err(),
+            "corrupt frame must not decode: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn example_unknown_kinds_carry_the_version() {
+    for kind in ["reboot", "Submit", "SUBMIT", "submit ", "", "結果"] {
+        assert_unknown_kind_is_versioned(kind);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proptest wrappers
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn request_wire_roundtrip_is_lossless(frame in arb_request()) {
+        assert_request_roundtrips(&frame);
+    }
+
+    #[test]
+    fn response_wire_roundtrip_is_lossless(frame in arb_response()) {
+        assert_response_roundtrips(&frame);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(frame in arb_request()) {
+        assert_truncations_are_typed_errors(&frame.to_line());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(line in ".*") {
+        assert_decode_is_total(&line);
+    }
+
+    #[test]
+    fn mutated_frames_never_panic_the_decoder(
+        frame in arb_request(),
+        idx in 0usize..400,
+        replacement in prop::sample::select(vec!['x', '"', '{', '}', ':', ',', '\\', '\u{0}']),
+    ) {
+        let line = frame.to_line();
+        let chars: Vec<char> = line.chars().collect();
+        let mut mutated: String = chars[..idx % chars.len()].iter().collect();
+        mutated.push(replacement);
+        mutated.extend(&chars[idx % chars.len() + 1..]);
+        assert_decode_is_total(&mutated);
+    }
+
+    #[test]
+    fn unknown_kinds_are_versioned_rejections(kind in "[a-z-]{1,12}") {
+        // Skip the kinds this protocol version does define.
+        let known = ["submit", "status", "cancel", "results", "shutdown"];
+        prop_assume!(!known.contains(&kind.as_str()));
+        assert_unknown_kind_is_versioned(&kind);
+    }
+}
