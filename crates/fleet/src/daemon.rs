@@ -10,15 +10,26 @@
 //! A `shutdown` frame stops the accept loop; in-flight chips finish, the
 //! shared campaign cache is published and saved (when a cache path was
 //! given), and the process exits cleanly.
+//!
+//! **Streaming.** A `subscribe` frame turns the connection into a duplex
+//! channel: a pump thread per subscription drains the service's bounded
+//! event queue and pushes `event` frames, interleaved frame-atomically
+//! with request responses (every socket write holds the connection's
+//! write lock for exactly one line). The reader loop uses a short read
+//! timeout so a silent watcher can neither stall its own cleanup nor
+//! hold the daemon open across a shutdown; a subscriber disconnecting
+//! mid-job just tears down its own pumps.
 
 use crate::proto::{Request, Response, PROTO_VERSION};
-use crate::service::{FleetService, JobOutcome};
+use crate::service::{FleetService, JobOutcome, Subscription, DEFAULT_SUBSCRIBER_QUEUE};
 use margins_core::cache::{CacheError, SharedCampaignCache};
 use margins_core::exec::ExecError;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Everything `voltmargin serve` needs to run a daemon.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +44,11 @@ pub struct ServeConfig {
     /// When set, each completed job's merged streams are also written
     /// under `<out_dir>/<client>/job<id>/`.
     pub out_dir: Option<String>,
+    /// Bound on each subscriber's event queue; `0` means
+    /// [`DEFAULT_SUBSCRIBER_QUEUE`]. Slow consumers overflowing the
+    /// bound lose events (counted exactly, reported via a `lagged`
+    /// frame) instead of blocking the scheduler.
+    pub subscriber_queue: usize,
 }
 
 /// A daemon that could not start or persist its state.
@@ -93,6 +109,11 @@ pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
     let _ = std::io::stdout().flush();
 
     let stop = AtomicBool::new(false);
+    let subscriber_queue = if config.subscriber_queue == 0 {
+        DEFAULT_SUBSCRIBER_QUEUE
+    } else {
+        config.subscriber_queue
+    };
     service.run(|| {
         std::thread::scope(|scope| {
             for stream in listener.incoming() {
@@ -103,7 +124,9 @@ pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
                 let service = &service;
                 let stop = &stop;
                 let out_dir = config.out_dir.as_deref();
-                scope.spawn(move || handle_connection(stream, service, stop, local, out_dir));
+                scope.spawn(move || {
+                    handle_connection(stream, service, stop, local, out_dir, subscriber_queue);
+                });
             }
         });
     });
@@ -114,6 +137,33 @@ pub fn serve(config: &ServeConfig) -> Result<(), ServeError> {
     Ok(())
 }
 
+/// How often the reader loop wakes to check the stop flag while a
+/// connection is idle. Bounds how long a silent subscriber can delay a
+/// daemon shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Writes one frame line atomically through the connection's write lock;
+/// `false` when the peer is gone.
+fn send_line(writer: &Mutex<TcpStream>, line: &str) -> bool {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    writeln!(w, "{line}").is_ok() && w.flush().is_ok()
+}
+
+/// Drains a subscription into `event` frames until it closes; a dead
+/// peer closes the subscription so the scheduler stops queueing for it.
+fn pump_events(service: &FleetService, sub: Subscription, writer: &Mutex<TcpStream>) {
+    while let Some(events) = service.next_events(&sub) {
+        for event in events {
+            if !send_line(writer, &Response::Event(event).to_line()) {
+                service.unsubscribe(&sub);
+                return;
+            }
+        }
+    }
+}
+
 /// Serves one client connection until EOF or shutdown.
 fn handle_connection(
     stream: TcpStream,
@@ -121,26 +171,151 @@ fn handle_connection(
     stop: &AtomicBool,
     local: SocketAddr,
     out_dir: Option<&str>,
+    subscriber_queue: usize,
 ) {
-    let Ok(reader) = stream.try_clone() else {
+    let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut writer = stream;
-    for line in BufReader::new(reader).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    // The timeout keeps the reader responsive to the stop flag; partial
+    // frame bytes survive across timeouts in `buf` below.
+    let _ = read_half.set_read_timeout(Some(READ_POLL));
+    let writer = Mutex::new(stream);
+    // Subscriptions owned by this connection, torn down on EOF so a
+    // vanished watcher never leaves a queue growing in the scheduler.
+    let subs: Mutex<Vec<(u64, Subscription)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let mut reader = BufReader::new(read_half);
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    // EOF; a final unterminated line is still a frame.
+                    if !buf.is_empty() {
+                        let line = String::from_utf8_lossy(&buf).into_owned();
+                        handle_line(
+                            &line,
+                            service,
+                            stop,
+                            local,
+                            out_dir,
+                            subscriber_queue,
+                            &writer,
+                            &subs,
+                            scope,
+                        );
+                    }
+                    break;
+                }
+                Ok(_) => {
+                    if buf.last() != Some(&b'\n') {
+                        continue;
+                    }
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    buf.clear();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let keep = handle_line(
+                        &line,
+                        service,
+                        stop,
+                        local,
+                        out_dir,
+                        subscriber_queue,
+                        &writer,
+                        &subs,
+                        scope,
+                    );
+                    if !keep {
+                        break;
+                    }
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
         }
-        let (response, shutdown) = respond(&line, service, out_dir);
-        if writeln!(writer, "{}", response.to_line()).is_err() || writer.flush().is_err() {
-            break;
+        // Close this connection's subscriptions: blocked pumps wake,
+        // return, and the scope joins them.
+        let closing = {
+            let mut subs = subs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *subs)
+        };
+        for (_, sub) in closing {
+            service.unsubscribe(&sub);
         }
-        if shutdown {
-            stop.store(true, Ordering::SeqCst);
-            // Unblock the accept loop with a throwaway connection; best
-            // effort, since the accept loop also checks the flag.
-            let _ = TcpStream::connect(local);
-            break;
+    });
+}
+
+/// Handles one inbound frame line; returns whether to keep the
+/// connection open.
+#[allow(clippy::too_many_arguments)]
+fn handle_line<'scope, 'env>(
+    line: &str,
+    service: &'scope FleetService,
+    stop: &AtomicBool,
+    local: SocketAddr,
+    out_dir: Option<&str>,
+    subscriber_queue: usize,
+    writer: &'scope Mutex<TcpStream>,
+    subs: &Mutex<Vec<(u64, Subscription)>>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+) -> bool {
+    match Request::parse_line(line) {
+        Ok(Request::Subscribe { client, job }) => {
+            match service.subscribe(&client, job, subscriber_queue) {
+                Some(sub) => {
+                    {
+                        let mut subs = subs
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        subs.push((job, sub));
+                    }
+                    // Acknowledge before the pump starts so the client
+                    // always sees `subscribed` ahead of any event frame.
+                    let alive = send_line(writer, &Response::Subscribed { job }.to_line());
+                    scope.spawn(move || pump_events(service, sub, writer));
+                    alive
+                }
+                None => send_line(writer, &unknown_job(job).to_line()),
+            }
+        }
+        Ok(Request::Unsubscribe { client: _, job }) => {
+            let found = {
+                let mut subs = subs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                subs.iter()
+                    .position(|(j, _)| *j == job)
+                    .map(|at| subs.remove(at).1)
+            };
+            match found {
+                Some(sub) => {
+                    service.unsubscribe(&sub);
+                    send_line(writer, &Response::Unsubscribed { job }.to_line())
+                }
+                None => send_line(writer, &unknown_job(job).to_line()),
+            }
+        }
+        _ => {
+            let (response, shutdown) = respond(line, service, out_dir);
+            if !send_line(writer, &response.to_line()) {
+                return false;
+            }
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop with a throwaway connection;
+                // best effort, since the accept loop also checks the
+                // flag.
+                let _ = TcpStream::connect(local);
+                return false;
+            }
+            true
         }
     }
 }
@@ -174,6 +349,8 @@ fn respond(line: &str, service: &FleetService, out_dir: Option<&str>) -> (Respon
                     state: s.state.to_owned(),
                     done: s.done,
                     total: s.total,
+                    queue_position: s.queue_position,
+                    progress: s.progress,
                 },
                 false,
             ),
@@ -181,7 +358,8 @@ fn respond(line: &str, service: &FleetService, out_dir: Option<&str>) -> (Respon
         },
         Request::Cancel { client, job } => {
             if service.cancel(&client, job) {
-                (Response::Cancelled { job }, false)
+                let (done, total) = service.accounting(&client, job).unwrap_or((0, 0));
+                (Response::Cancelled { job, done, total }, false)
             } else {
                 (unknown_job(job), false)
             }
@@ -213,6 +391,23 @@ fn respond(line: &str, service: &FleetService, out_dir: Option<&str>) -> (Respon
             Some(JobOutcome::Failed(e)) => (error_frame("exec", e.to_string()), false),
             None => (unknown_job(job), false),
         },
+        Request::Health => (Response::Health(service.health()), false),
+        Request::Metrics => (
+            Response::Metrics {
+                body: service.openmetrics(),
+            },
+            false,
+        ),
+        // The connection layer intercepts these before `respond` because
+        // they bind state (pump threads) to the connection itself; hitting
+        // this arm means a non-streaming caller routed them here.
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => (
+            error_frame(
+                "not-streaming",
+                "subscribe/unsubscribe require a streaming connection".to_owned(),
+            ),
+            false,
+        ),
         Request::Shutdown => (Response::Bye, true),
     }
 }
@@ -298,6 +493,41 @@ mod tests {
         let (resp, shutdown) = respond("{\"kind\":\"shutdown\"}", &svc, None);
         assert_eq!(resp, Response::Bye);
         assert!(shutdown);
+    }
+
+    #[test]
+    fn health_and_metrics_answer_snapshot_frames() {
+        let svc = FleetService::new(2, SharedCampaignCache::new()).expect("valid");
+        let (resp, shutdown) = respond("{\"kind\":\"health\"}", &svc, None);
+        assert!(!shutdown);
+        let Response::Health(h) = resp else {
+            panic!("expected a health frame, got {resp:?}");
+        };
+        assert_eq!(h.workers, 2);
+        assert_eq!(h.busy, 0);
+
+        let (resp, shutdown) = respond("{\"kind\":\"metrics\"}", &svc, None);
+        assert!(!shutdown);
+        let Response::Metrics { body } = resp else {
+            panic!("expected a metrics frame, got {resp:?}");
+        };
+        assert!(body.contains("voltmargin_fleet_workers 2"), "{body}");
+        assert!(body.ends_with("# EOF\n"), "{body}");
+    }
+
+    #[test]
+    fn subscribe_outside_a_streaming_connection_is_a_typed_error() {
+        let svc = FleetService::new(1, SharedCampaignCache::new()).expect("valid");
+        let (resp, shutdown) = respond(
+            "{\"client\":\"c\",\"job\":0,\"kind\":\"subscribe\"}",
+            &svc,
+            None,
+        );
+        assert!(!shutdown);
+        let Response::Error { code, .. } = resp else {
+            panic!("expected an error frame, got {resp:?}");
+        };
+        assert_eq!(code, "not-streaming");
     }
 
     #[test]

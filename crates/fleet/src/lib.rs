@@ -7,15 +7,18 @@
 //! results:
 //!
 //! * [`proto`] — the line-delimited JSON wire protocol
-//!   (submit / status / cancel / results / shutdown), encoded on the
-//!   deterministic `margins-trace` JSON layer and decoded totally: corrupt
-//!   or truncated frames and unknown kinds become typed
+//!   (submit / status / cancel / results / shutdown, plus the
+//!   observability kinds: subscribe / unsubscribe / health / metrics and
+//!   server-pushed [`FleetEvent`](proto::FleetEvent) frames), encoded on
+//!   the deterministic `margins-trace` JSON layer and decoded totally:
+//!   corrupt or truncated frames and unknown kinds become typed
 //!   [`ProtoError`](proto::ProtoError)s, never panics.
 //! * [`service`] — the scheduler: a bounded worker pool fed by fair
 //!   FIFO-per-client queues, every chip running the stock
 //!   `Campaign::run` pipeline against one shared campaign cache, and
 //!   every job's stream merged in canonical chip order after the job
-//!   completes.
+//!   completes. Subscribers observe jobs through bounded event queues
+//!   with exact drop accounting; observation never perturbs outcomes.
 //! * [`daemon`] — the TCP front-end behind `voltmargin serve`.
 //!
 //! The determinism contract — a fleet run of N chips is byte-identical to
@@ -29,5 +32,9 @@ pub mod proto;
 pub mod service;
 
 pub use daemon::{serve, ServeConfig, ServeError};
-pub use proto::{FleetSpec, ProtoError, Request, Response, SpecError, PROTO_VERSION};
-pub use service::{FleetResults, FleetService, JobOutcome, JobStatus};
+pub use proto::{
+    FleetEvent, FleetSpec, HealthSnapshot, ProtoError, Request, Response, SpecError, PROTO_VERSION,
+};
+pub use service::{
+    FleetResults, FleetService, JobOutcome, JobStatus, Subscription, DEFAULT_SUBSCRIBER_QUEUE,
+};

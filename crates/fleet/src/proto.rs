@@ -22,7 +22,12 @@ use std::fmt;
 /// The wire protocol version spoken by this build. Carried on every
 /// [`Response::Error`] frame so version-skewed peers can tell a typo from
 /// a protocol gap.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// Version 2 added the observability plane: `subscribe`/`unsubscribe`/
+/// `health`/`metrics` requests, server-pushed `event` frames
+/// ([`FleetEvent`]), queue position and progress on `status`, and
+/// partial-results accounting on `cancelled`.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Largest chip count a single submit may request. Far above "thousands
 /// of simulated chips"; the bound turns an absurd request into a typed
@@ -178,8 +183,208 @@ pub enum Request {
         /// Job id.
         job: u64,
     },
+    /// Start streaming a job's live event frames over this connection.
+    Subscribe {
+        /// Owning client.
+        client: String,
+        /// Job id.
+        job: u64,
+    },
+    /// Stop streaming a job's event frames over this connection.
+    Unsubscribe {
+        /// Owning client.
+        client: String,
+        /// Job id.
+        job: u64,
+    },
+    /// Ask for a daemon liveness snapshot (runtime gauges).
+    Health,
+    /// Ask for the daemon's OpenMetrics text exposition.
+    Metrics,
     /// Stop the daemon after in-flight chips finish.
     Shutdown,
+}
+
+/// A point-in-time snapshot of the daemon's runtime gauges, answered to
+/// [`Request::Health`]. Every field is a *gauge* — it reflects scheduling
+/// luck at the instant of the request and is deliberately kept out of the
+/// deterministic counter section of the metrics exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSnapshot {
+    /// Configured scheduler worker threads.
+    pub workers: u32,
+    /// Workers currently characterizing a chip.
+    pub busy: u32,
+    /// Chip units waiting in per-client queues.
+    pub queued_units: u64,
+    /// Jobs admitted but not yet dispatched.
+    pub jobs_queued: u32,
+    /// Jobs with at least one dispatched chip and work remaining.
+    pub jobs_running: u32,
+    /// Jobs whose every chip completed.
+    pub jobs_done: u32,
+    /// Jobs cancelled before completing.
+    pub jobs_cancelled: u32,
+    /// Jobs that failed with an executor error.
+    pub jobs_failed: u32,
+    /// Live event subscriptions.
+    pub subscribers: u32,
+}
+
+/// One server-pushed telemetry frame (`"kind":"event"` on the wire, with
+/// a `"what"` sub-discriminator).
+///
+/// Event payloads are derived from the same deterministic `TraceEvent`
+/// stream the job's artifacts are built from: every
+/// [`FleetEvent::ChipFinished`] carries that chip's complete sealed JSONL
+/// stream, so a fully received subscription re-sealed through
+/// `merge_streams` in ascending chip order is byte-identical to the job's
+/// merged trace artifact.
+///
+/// Unknown `what` tokens decode to [`FleetEvent::Unknown`] rather than a
+/// [`ProtoError`]: a version-aware client skips event kinds it does not
+/// speak while still hard-rejecting unknown top-level frame kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A job was admitted to the scheduler.
+    JobQueued {
+        /// Job id.
+        job: u64,
+        /// Owning client.
+        client: String,
+        /// Chips the job will characterize.
+        chips: u32,
+    },
+    /// The first chip of a job was dispatched to a worker.
+    JobStarted {
+        /// Job id.
+        job: u64,
+    },
+    /// A chip was dispatched to a worker.
+    ChipStarted {
+        /// Job id.
+        job: u64,
+        /// Canonical chip index within the job.
+        chip: u32,
+        /// Chip identity, e.g. `TTT#40`.
+        chip_id: String,
+    },
+    /// A (benchmark, core) sweep of a chip finished.
+    SweepProgress {
+        /// Job id.
+        job: u64,
+        /// Canonical chip index within the job.
+        chip: u32,
+        /// Benchmark name.
+        program: String,
+        /// Input dataset label.
+        dataset: String,
+        /// Target core index.
+        core: u8,
+        /// Classified runs the sweep produced.
+        runs: u64,
+    },
+    /// A chip completed; carries the chip's sealed per-chip trace.
+    ChipFinished {
+        /// Job id.
+        job: u64,
+        /// Canonical chip index within the job.
+        chip: u32,
+        /// Chip identity, e.g. `TTT#40`.
+        chip_id: String,
+        /// Classified runs on this chip.
+        runs: u64,
+        /// Watchdog power cycles on this chip.
+        power_cycles: u64,
+        /// The chip's binding Vmin (max over its sweeps), absent when
+        /// even the highest probed step misbehaved (censored).
+        vmin_mv: Option<u32>,
+        /// Sum of per-run severity contributions on this chip.
+        severity_sum: f64,
+        /// Campaign-cache lookups that hit.
+        cache_hits: u64,
+        /// Campaign-cache lookups issued.
+        cache_lookups: u64,
+        /// The chip's own sealed margins-trace JSONL stream.
+        trace: String,
+    },
+    /// Every chip of a job completed.
+    JobFinished {
+        /// Job id.
+        job: u64,
+        /// Chips characterized.
+        chips: u32,
+        /// Classified runs over the whole job.
+        runs: u64,
+        /// Watchdog power cycles over the whole job.
+        power_cycles: u64,
+    },
+    /// A job was cancelled; `done` of `total` chips had completed.
+    JobCancelled {
+        /// Job id.
+        job: u64,
+        /// Chips that completed before the cancel.
+        done: u32,
+        /// Chips total.
+        total: u32,
+    },
+    /// A job failed with an executor error.
+    JobFailed {
+        /// Job id.
+        job: u64,
+        /// The error rendered for operators.
+        message: String,
+    },
+    /// The subscriber's bounded queue overflowed; `dropped` events were
+    /// discarded since the last delivered frame.
+    Lagged {
+        /// Job id.
+        job: u64,
+        /// Exact count of dropped events.
+        dropped: u64,
+    },
+    /// An event kind this protocol version does not speak; skipped by
+    /// version-aware clients.
+    Unknown {
+        /// The unrecognized `what` token.
+        what: String,
+    },
+}
+
+impl FleetEvent {
+    /// The `what` sub-discriminator token on the wire.
+    #[must_use]
+    pub fn what(&self) -> &str {
+        match self {
+            FleetEvent::JobQueued { .. } => "job-queued",
+            FleetEvent::JobStarted { .. } => "job-started",
+            FleetEvent::ChipStarted { .. } => "chip-started",
+            FleetEvent::SweepProgress { .. } => "sweep-progress",
+            FleetEvent::ChipFinished { .. } => "chip-finished",
+            FleetEvent::JobFinished { .. } => "job-finished",
+            FleetEvent::JobCancelled { .. } => "job-cancelled",
+            FleetEvent::JobFailed { .. } => "job-failed",
+            FleetEvent::Lagged { .. } => "lagged",
+            FleetEvent::Unknown { what } => what,
+        }
+    }
+
+    /// The job the event belongs to; `None` for [`FleetEvent::Unknown`].
+    #[must_use]
+    pub fn job(&self) -> Option<u64> {
+        match self {
+            FleetEvent::JobQueued { job, .. }
+            | FleetEvent::JobStarted { job }
+            | FleetEvent::ChipStarted { job, .. }
+            | FleetEvent::SweepProgress { job, .. }
+            | FleetEvent::ChipFinished { job, .. }
+            | FleetEvent::JobFinished { job, .. }
+            | FleetEvent::JobCancelled { job, .. }
+            | FleetEvent::JobFailed { job, .. }
+            | FleetEvent::Lagged { job, .. } => Some(*job),
+            FleetEvent::Unknown { .. } => None,
+        }
+    }
 }
 
 /// One daemon→client frame.
@@ -196,18 +401,50 @@ pub enum Response {
     Status {
         /// Job id.
         job: u64,
-        /// `"queued"`, `"running"`, `"done"` or `"cancelled"`.
+        /// `"queued"`, `"running"`, `"done"`, `"failed"` or
+        /// `"cancelled"`.
         state: String,
         /// Chips completed.
         done: u32,
         /// Chips total.
         total: u32,
+        /// Chip units ahead of this job's first pending unit in its
+        /// client's FIFO queue (0 when nothing of the job is queued).
+        queue_position: u32,
+        /// Completion fraction, `done / total`.
+        progress: f64,
     },
-    /// A cancel took effect.
+    /// A cancel took effect; `done` of `total` chips had completed and
+    /// their partial results are retained with the job.
     Cancelled {
         /// Job id.
         job: u64,
+        /// Chips that completed before the cancel.
+        done: u32,
+        /// Chips total.
+        total: u32,
     },
+    /// A subscription started; `event` frames for the job follow on this
+    /// connection.
+    Subscribed {
+        /// Job id.
+        job: u64,
+    },
+    /// A subscription ended; no further `event` frames for the job will
+    /// be pushed on this connection.
+    Unsubscribed {
+        /// Job id.
+        job: u64,
+    },
+    /// The daemon's runtime gauges.
+    Health(HealthSnapshot),
+    /// The daemon's OpenMetrics text exposition.
+    Metrics {
+        /// The exposition body (ends with `# EOF`).
+        body: String,
+    },
+    /// A server-pushed telemetry frame for a subscribed job.
+    Event(FleetEvent),
     /// A completed job's merged deterministic outputs.
     Results {
         /// Job id.
@@ -404,6 +641,18 @@ impl Request {
                 ("client", Value::from_str_val(client)),
                 ("job", Value::from_u64(*job)),
             ]),
+            Request::Subscribe { client, job } => obj(vec![
+                ("kind", Value::from_str_val("subscribe")),
+                ("client", Value::from_str_val(client)),
+                ("job", Value::from_u64(*job)),
+            ]),
+            Request::Unsubscribe { client, job } => obj(vec![
+                ("kind", Value::from_str_val("unsubscribe")),
+                ("client", Value::from_str_val(client)),
+                ("job", Value::from_u64(*job)),
+            ]),
+            Request::Health => obj(vec![("kind", Value::from_str_val("health"))]),
+            Request::Metrics => obj(vec![("kind", Value::from_str_val("metrics"))]),
             Request::Shutdown => obj(vec![("kind", Value::from_str_val("shutdown"))]),
         };
         json::render(&value)
@@ -434,6 +683,16 @@ impl Request {
                 client: str_field(&fields, "client")?.to_owned(),
                 job: u64_field(&fields, "job")?,
             }),
+            "subscribe" => Ok(Request::Subscribe {
+                client: str_field(&fields, "client")?.to_owned(),
+                job: u64_field(&fields, "job")?,
+            }),
+            "unsubscribe" => Ok(Request::Unsubscribe {
+                client: str_field(&fields, "client")?.to_owned(),
+                job: u64_field(&fields, "job")?,
+            }),
+            "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::UnknownKind {
                 kind: other.to_owned(),
@@ -458,17 +717,54 @@ impl Response {
                 state,
                 done,
                 total,
+                queue_position,
+                progress,
             } => obj(vec![
                 ("kind", Value::from_str_val("status")),
                 ("job", Value::from_u64(*job)),
                 ("state", Value::from_str_val(state)),
                 ("done", Value::from_u64(u64::from(*done))),
                 ("total", Value::from_u64(u64::from(*total))),
+                (
+                    "queue_position",
+                    Value::from_u64(u64::from(*queue_position)),
+                ),
+                ("progress", Value::from_f64(*progress)),
             ]),
-            Response::Cancelled { job } => obj(vec![
+            Response::Cancelled { job, done, total } => obj(vec![
                 ("kind", Value::from_str_val("cancelled")),
                 ("job", Value::from_u64(*job)),
+                ("done", Value::from_u64(u64::from(*done))),
+                ("total", Value::from_u64(u64::from(*total))),
             ]),
+            Response::Subscribed { job } => obj(vec![
+                ("kind", Value::from_str_val("subscribed")),
+                ("job", Value::from_u64(*job)),
+            ]),
+            Response::Unsubscribed { job } => obj(vec![
+                ("kind", Value::from_str_val("unsubscribed")),
+                ("job", Value::from_u64(*job)),
+            ]),
+            Response::Health(h) => obj(vec![
+                ("kind", Value::from_str_val("health")),
+                ("workers", Value::from_u64(u64::from(h.workers))),
+                ("busy", Value::from_u64(u64::from(h.busy))),
+                ("queued_units", Value::from_u64(h.queued_units)),
+                ("jobs_queued", Value::from_u64(u64::from(h.jobs_queued))),
+                ("jobs_running", Value::from_u64(u64::from(h.jobs_running))),
+                ("jobs_done", Value::from_u64(u64::from(h.jobs_done))),
+                (
+                    "jobs_cancelled",
+                    Value::from_u64(u64::from(h.jobs_cancelled)),
+                ),
+                ("jobs_failed", Value::from_u64(u64::from(h.jobs_failed))),
+                ("subscribers", Value::from_u64(u64::from(h.subscribers))),
+            ]),
+            Response::Metrics { body } => obj(vec![
+                ("kind", Value::from_str_val("metrics")),
+                ("body", Value::from_str_val(body)),
+            ]),
+            Response::Event(event) => event_value(event),
             Response::Results {
                 job,
                 chips,
@@ -519,10 +815,35 @@ impl Response {
                 state: str_field(&fields, "state")?.to_owned(),
                 done: u32_field(&fields, "done")?,
                 total: u32_field(&fields, "total")?,
+                queue_position: u32_field(&fields, "queue_position")?,
+                progress: f64_field(&fields, "progress")?,
             }),
             "cancelled" => Ok(Response::Cancelled {
                 job: u64_field(&fields, "job")?,
+                done: u32_field(&fields, "done")?,
+                total: u32_field(&fields, "total")?,
             }),
+            "subscribed" => Ok(Response::Subscribed {
+                job: u64_field(&fields, "job")?,
+            }),
+            "unsubscribed" => Ok(Response::Unsubscribed {
+                job: u64_field(&fields, "job")?,
+            }),
+            "health" => Ok(Response::Health(HealthSnapshot {
+                workers: u32_field(&fields, "workers")?,
+                busy: u32_field(&fields, "busy")?,
+                queued_units: u64_field(&fields, "queued_units")?,
+                jobs_queued: u32_field(&fields, "jobs_queued")?,
+                jobs_running: u32_field(&fields, "jobs_running")?,
+                jobs_done: u32_field(&fields, "jobs_done")?,
+                jobs_cancelled: u32_field(&fields, "jobs_cancelled")?,
+                jobs_failed: u32_field(&fields, "jobs_failed")?,
+                subscribers: u32_field(&fields, "subscribers")?,
+            })),
+            "metrics" => Ok(Response::Metrics {
+                body: str_field(&fields, "body")?.to_owned(),
+            }),
+            "event" => Ok(Response::Event(event_of(&fields)?)),
             "results" => Ok(Response::Results {
                 job: u64_field(&fields, "job")?,
                 chips: u32_field(&fields, "chips")?,
@@ -543,6 +864,158 @@ impl Response {
                 proto: PROTO_VERSION,
             }),
         }
+    }
+}
+
+/// Encodes a [`FleetEvent`] as its `"kind":"event"` wire object.
+fn event_value(event: &FleetEvent) -> Value {
+    let mut fields = vec![
+        ("kind", Value::from_str_val("event")),
+        ("what", Value::from_str_val(event.what())),
+    ];
+    match event {
+        FleetEvent::JobQueued { job, client, chips } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("client", Value::from_str_val(client)));
+            fields.push(("chips", Value::from_u64(u64::from(*chips))));
+        }
+        FleetEvent::JobStarted { job } => {
+            fields.push(("job", Value::from_u64(*job)));
+        }
+        FleetEvent::ChipStarted { job, chip, chip_id } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("chip", Value::from_u64(u64::from(*chip))));
+            fields.push(("chip_id", Value::from_str_val(chip_id)));
+        }
+        FleetEvent::SweepProgress {
+            job,
+            chip,
+            program,
+            dataset,
+            core,
+            runs,
+        } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("chip", Value::from_u64(u64::from(*chip))));
+            fields.push(("program", Value::from_str_val(program)));
+            fields.push(("dataset", Value::from_str_val(dataset)));
+            fields.push(("core", Value::from_u64(u64::from(*core))));
+            fields.push(("runs", Value::from_u64(*runs)));
+        }
+        FleetEvent::ChipFinished {
+            job,
+            chip,
+            chip_id,
+            runs,
+            power_cycles,
+            vmin_mv,
+            severity_sum,
+            cache_hits,
+            cache_lookups,
+            trace,
+        } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("chip", Value::from_u64(u64::from(*chip))));
+            fields.push(("chip_id", Value::from_str_val(chip_id)));
+            fields.push(("runs", Value::from_u64(*runs)));
+            fields.push(("power_cycles", Value::from_u64(*power_cycles)));
+            if let Some(mv) = vmin_mv {
+                fields.push(("vmin_mv", Value::from_u64(u64::from(*mv))));
+            }
+            fields.push(("severity_sum", Value::from_f64(*severity_sum)));
+            fields.push(("cache_hits", Value::from_u64(*cache_hits)));
+            fields.push(("cache_lookups", Value::from_u64(*cache_lookups)));
+            fields.push(("trace", Value::from_str_val(trace)));
+        }
+        FleetEvent::JobFinished {
+            job,
+            chips,
+            runs,
+            power_cycles,
+        } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("chips", Value::from_u64(u64::from(*chips))));
+            fields.push(("runs", Value::from_u64(*runs)));
+            fields.push(("power_cycles", Value::from_u64(*power_cycles)));
+        }
+        FleetEvent::JobCancelled { job, done, total } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("done", Value::from_u64(u64::from(*done))));
+            fields.push(("total", Value::from_u64(u64::from(*total))));
+        }
+        FleetEvent::JobFailed { job, message } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("message", Value::from_str_val(message)));
+        }
+        FleetEvent::Lagged { job, dropped } => {
+            fields.push(("job", Value::from_u64(*job)));
+            fields.push(("dropped", Value::from_u64(*dropped)));
+        }
+        FleetEvent::Unknown { .. } => {}
+    }
+    obj(fields)
+}
+
+/// Decodes the payload of a `"kind":"event"` frame. Unknown `what` tokens
+/// decode to [`FleetEvent::Unknown`] so version-aware clients can skip
+/// event kinds newer than their protocol.
+fn event_of(fields: &BTreeMap<String, Value>) -> Result<FleetEvent, ProtoError> {
+    match str_field(fields, "what")? {
+        "job-queued" => Ok(FleetEvent::JobQueued {
+            job: u64_field(fields, "job")?,
+            client: str_field(fields, "client")?.to_owned(),
+            chips: u32_field(fields, "chips")?,
+        }),
+        "job-started" => Ok(FleetEvent::JobStarted {
+            job: u64_field(fields, "job")?,
+        }),
+        "chip-started" => Ok(FleetEvent::ChipStarted {
+            job: u64_field(fields, "job")?,
+            chip: u32_field(fields, "chip")?,
+            chip_id: str_field(fields, "chip_id")?.to_owned(),
+        }),
+        "sweep-progress" => Ok(FleetEvent::SweepProgress {
+            job: u64_field(fields, "job")?,
+            chip: u32_field(fields, "chip")?,
+            program: str_field(fields, "program")?.to_owned(),
+            dataset: str_field(fields, "dataset")?.to_owned(),
+            core: u8_field(fields, "core")?,
+            runs: u64_field(fields, "runs")?,
+        }),
+        "chip-finished" => Ok(FleetEvent::ChipFinished {
+            job: u64_field(fields, "job")?,
+            chip: u32_field(fields, "chip")?,
+            chip_id: str_field(fields, "chip_id")?.to_owned(),
+            runs: u64_field(fields, "runs")?,
+            power_cycles: u64_field(fields, "power_cycles")?,
+            vmin_mv: opt_u32_field(fields, "vmin_mv")?,
+            severity_sum: f64_field(fields, "severity_sum")?,
+            cache_hits: u64_field(fields, "cache_hits")?,
+            cache_lookups: u64_field(fields, "cache_lookups")?,
+            trace: str_field(fields, "trace")?.to_owned(),
+        }),
+        "job-finished" => Ok(FleetEvent::JobFinished {
+            job: u64_field(fields, "job")?,
+            chips: u32_field(fields, "chips")?,
+            runs: u64_field(fields, "runs")?,
+            power_cycles: u64_field(fields, "power_cycles")?,
+        }),
+        "job-cancelled" => Ok(FleetEvent::JobCancelled {
+            job: u64_field(fields, "job")?,
+            done: u32_field(fields, "done")?,
+            total: u32_field(fields, "total")?,
+        }),
+        "job-failed" => Ok(FleetEvent::JobFailed {
+            job: u64_field(fields, "job")?,
+            message: str_field(fields, "message")?.to_owned(),
+        }),
+        "lagged" => Ok(FleetEvent::Lagged {
+            job: u64_field(fields, "job")?,
+            dropped: u64_field(fields, "dropped")?,
+        }),
+        other => Ok(FleetEvent::Unknown {
+            what: other.to_owned(),
+        }),
     }
 }
 
@@ -605,6 +1078,44 @@ fn u32_field(fields: &BTreeMap<String, Value>, name: &str) -> Result<u32, ProtoE
         field: name.to_owned(),
         message: format!("{wide} exceeds the unsigned 32-bit range"),
     })
+}
+
+fn u8_field(fields: &BTreeMap<String, Value>, name: &str) -> Result<u8, ProtoError> {
+    let wide = u64_field(fields, name)?;
+    u8::try_from(wide).map_err(|_| ProtoError::BadField {
+        field: name.to_owned(),
+        message: format!("{wide} exceeds the unsigned 8-bit range"),
+    })
+}
+
+/// A `u32` field that may be legitimately absent (e.g. a censored Vmin).
+fn opt_u32_field(fields: &BTreeMap<String, Value>, name: &str) -> Result<Option<u32>, ProtoError> {
+    if fields.contains_key(name) {
+        u32_field(fields, name).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+fn f64_field(fields: &BTreeMap<String, Value>, name: &str) -> Result<f64, ProtoError> {
+    let raw = field(fields, name)?
+        .as_number()
+        .ok_or_else(|| ProtoError::BadField {
+            field: name.to_owned(),
+            message: "expected a number".to_owned(),
+        })?;
+    let value = raw.parse::<f64>().map_err(|_| ProtoError::BadField {
+        field: name.to_owned(),
+        message: format!("'{raw}' is not a number"),
+    })?;
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ProtoError::BadField {
+            field: name.to_owned(),
+            message: format!("'{raw}' is not finite"),
+        })
+    }
 }
 
 fn spec_of(fields: &BTreeMap<String, Value>) -> Result<FleetSpec, ProtoError> {
@@ -706,6 +1217,16 @@ mod tests {
                 client: String::new(),
                 job: 0,
             },
+            Request::Subscribe {
+                client: "rack-a".into(),
+                job: 12,
+            },
+            Request::Unsubscribe {
+                client: "rack-a".into(),
+                job: 12,
+            },
+            Request::Health,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for frame in frames {
@@ -724,8 +1245,55 @@ mod tests {
                 state: "running".into(),
                 done: 3,
                 total: 64,
+                queue_position: 7,
+                progress: 3.0 / 64.0,
             },
-            Response::Cancelled { job: 9 },
+            Response::Cancelled {
+                job: 9,
+                done: 2,
+                total: 5,
+            },
+            Response::Subscribed { job: 4 },
+            Response::Unsubscribed { job: 4 },
+            Response::Health(HealthSnapshot {
+                workers: 4,
+                busy: 2,
+                queued_units: 61,
+                jobs_queued: 1,
+                jobs_running: 1,
+                jobs_done: 3,
+                jobs_cancelled: 1,
+                jobs_failed: 0,
+                subscribers: 2,
+            }),
+            Response::Metrics {
+                body: "# TYPE voltmargin_runs counter\nvoltmargin_runs_total 3\n# EOF\n".into(),
+            },
+            Response::Event(FleetEvent::ChipFinished {
+                job: 1,
+                chip: 3,
+                chip_id: "TTT#103".into(),
+                runs: 3,
+                power_cycles: 1,
+                vmin_mv: Some(885),
+                severity_sum: 2.5,
+                cache_hits: 0,
+                cache_lookups: 4,
+                trace: "{\"seq\":0}\n".into(),
+            }),
+            Response::Event(FleetEvent::ChipFinished {
+                job: 1,
+                chip: 4,
+                chip_id: "TTT#104".into(),
+                runs: 3,
+                power_cycles: 0,
+                vmin_mv: None,
+                severity_sum: 0.0,
+                cache_hits: 4,
+                cache_lookups: 4,
+                trace: String::new(),
+            }),
+            Response::Event(FleetEvent::Lagged { job: 1, dropped: 9 }),
             Response::Results {
                 job: 1,
                 chips: 2,
@@ -796,6 +1364,103 @@ mod tests {
         };
         assert_eq!((proto, code.as_str()), (PROTO_VERSION, "unknown-kind"));
         assert!(message.contains("reboot"), "{message}");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = [
+            FleetEvent::JobQueued {
+                job: 0,
+                client: "rack \"a\"".into(),
+                chips: 64,
+            },
+            FleetEvent::JobStarted { job: 0 },
+            FleetEvent::ChipStarted {
+                job: 0,
+                chip: 1,
+                chip_id: "TSS#501".into(),
+            },
+            FleetEvent::SweepProgress {
+                job: 0,
+                chip: 1,
+                program: "namd".into(),
+                dataset: "ref".into(),
+                core: 4,
+                runs: 3,
+            },
+            FleetEvent::JobFinished {
+                job: 0,
+                chips: 64,
+                runs: 192,
+                power_cycles: 4,
+            },
+            FleetEvent::JobCancelled {
+                job: 0,
+                done: 12,
+                total: 64,
+            },
+            FleetEvent::JobFailed {
+                job: 0,
+                message: "executor: too many threads".into(),
+            },
+            FleetEvent::Lagged { job: 0, dropped: 1 },
+        ];
+        for event in events {
+            let line = Response::Event(event.clone()).to_line();
+            assert!(!line.contains('\n'), "events are single lines: {line}");
+            assert_eq!(
+                Response::parse_line(&line).expect("round trip"),
+                Response::Event(event)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_event_kinds_decode_skippable_not_fatal() {
+        // An unknown *event* kind is a soft skip for version-aware
+        // clients…
+        let decoded = Response::parse_line("{\"kind\":\"event\",\"what\":\"chip-teleported\"}")
+            .expect("unknown events decode");
+        let Response::Event(event) = decoded else {
+            panic!("expected an event frame");
+        };
+        assert_eq!(
+            event,
+            FleetEvent::Unknown {
+                what: "chip-teleported".into()
+            }
+        );
+        assert_eq!(event.job(), None);
+        assert_eq!(event.what(), "chip-teleported");
+        // …while an unknown *frame* kind stays a hard typed rejection.
+        assert!(matches!(
+            Response::parse_line("{\"kind\":\"telemetry\"}"),
+            Err(ProtoError::UnknownKind { .. })
+        ));
+        // A known event kind with a broken payload is still a typed error.
+        assert!(matches!(
+            Response::parse_line("{\"kind\":\"event\",\"what\":\"lagged\"}"),
+            Err(ProtoError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn censored_vmin_is_encoded_by_omission() {
+        let censored = Response::Event(FleetEvent::ChipFinished {
+            job: 2,
+            chip: 0,
+            chip_id: "TFF#9".into(),
+            runs: 3,
+            power_cycles: 2,
+            vmin_mv: None,
+            severity_sum: 7.5,
+            cache_hits: 0,
+            cache_lookups: 4,
+            trace: String::new(),
+        });
+        let line = censored.to_line();
+        assert!(!line.contains("vmin_mv"), "{line}");
+        assert_eq!(Response::parse_line(&line).expect("round trip"), censored);
     }
 
     #[test]

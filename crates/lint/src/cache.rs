@@ -222,7 +222,9 @@ fn parse_member(tag: &str, rest: &str, file: &mut CachedFile) -> Result<(), Stri
     match tag {
         "N" => {
             let (name, inner) = rest.split_once(' ').ok_or("bad N record")?;
-            file.symbols.newtypes.push((name.to_owned(), inner.to_owned()));
+            file.symbols
+                .newtypes
+                .push((name.to_owned(), inner.to_owned()));
         }
         "V" => {
             let (variant, fields) = rest.split_once(' ').ok_or("bad V record")?;
@@ -231,7 +233,9 @@ fn parse_member(tag: &str, rest: &str, file: &mut CachedFile) -> Result<(), Stri
             } else {
                 fields.split(',').map(str::to_owned).collect()
             };
-            file.symbols.trace_variants.push((variant.to_owned(), fields));
+            file.symbols
+                .trace_variants
+                .push((variant.to_owned(), fields));
         }
         "R" => {
             let (flag, name) = rest.split_once(' ').ok_or("bad R record")?;

@@ -532,12 +532,16 @@ mod tests {
             .iter()
             .find(|t| t.ident() == Some("b"))
             .expect("b survives");
-        assert_eq!(b_tok.line, 3, "newlines inside raw strings still advance lines");
+        assert_eq!(
+            b_tok.line, 3,
+            "newlines inside raw strings still advance lines"
+        );
     }
 
     #[test]
     fn labeled_loops_and_escaped_quote_chars() {
-        let src = "fn f() { 'outer: loop { break 'outer; } let q = '\\''; let s: &'static str = \"\"; }";
+        let src =
+            "fn f() { 'outer: loop { break 'outer; } let q = '\\''; let s: &'static str = \"\"; }";
         let lexed = lex(src);
         let lifetimes = lexed
             .tokens

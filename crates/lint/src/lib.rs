@@ -232,10 +232,7 @@ pub fn lint_workspace_incremental(
                     e.rel.clone(),
                     cache::CachedFile {
                         hash: e.hash,
-                        symbols: per_file_syms
-                            .get(&e.rel)
-                            .cloned()
-                            .unwrap_or_default(),
+                        symbols: per_file_syms.get(&e.rel).cloned().unwrap_or_default(),
                         findings: findings.clone(),
                         waivers: waivers.clone(),
                     },

@@ -433,10 +433,11 @@ fn parse_params(tokens: &[Token]) -> Vec<Param> {
             continue;
         }
         // Receiver: `self`, `&self`, `&'a mut self`, `mut self`.
-        if seg
-            .iter()
-            .all(|t| matches!(t.ident(), Some("self" | "mut")) || t.punct() == Some("&") || t.kind == TokKind::Lifetime)
-            && seg.iter().any(|t| t.ident() == Some("self"))
+        if seg.iter().all(|t| {
+            matches!(t.ident(), Some("self" | "mut"))
+                || t.punct() == Some("&")
+                || t.kind == TokKind::Lifetime
+        }) && seg.iter().any(|t| t.ident() == Some("self"))
         {
             continue;
         }
@@ -798,7 +799,13 @@ fn parse_mod(
 }
 
 /// Parses a `use` item, recording the joined path.
-fn parse_use(tokens: &[Token], kw_idx: usize, _end: usize, is_pub: bool, out: &mut Vec<Item>) -> usize {
+fn parse_use(
+    tokens: &[Token],
+    kw_idx: usize,
+    _end: usize,
+    is_pub: bool,
+    out: &mut Vec<Item>,
+) -> usize {
     let (line, col) = (tokens[kw_idx].line, tokens[kw_idx].col);
     let start = kw_idx + 1;
     let semi = skip_to_semi(tokens, start);
@@ -839,8 +846,20 @@ mod tests {
         assert!(f.is_pub);
         let ItemKind::Fn(sig) = &f.kind else { panic!() };
         assert_eq!(sig.params.len(), 2);
-        assert_eq!(sig.params[0], Param { name: "mv".into(), ty: "u32".into() });
-        assert_eq!(sig.params[1], Param { name: "name".into(), ty: "&str".into() });
+        assert_eq!(
+            sig.params[0],
+            Param {
+                name: "mv".into(),
+                ty: "u32".into()
+            }
+        );
+        assert_eq!(
+            sig.params[1],
+            Param {
+                name: "name".into(),
+                ty: "&str".into()
+            }
+        );
         assert_eq!(sig.ret.as_deref(), Some("Option<u32>"));
     }
 
@@ -867,7 +886,9 @@ mod tests {
     fn tuple_struct_detected_as_newtype() {
         let it = &items("pub struct Millivolts(u32);")[0];
         assert_eq!(it.name, "Millivolts");
-        let ItemKind::Struct { fields, tuple } = &it.kind else { panic!() };
+        let ItemKind::Struct { fields, tuple } = &it.kind else {
+            panic!()
+        };
         assert!(*tuple);
         assert_eq!(fields.len(), 1);
         assert_eq!(fields[0].ty, "u32");
@@ -876,9 +897,17 @@ mod tests {
     #[test]
     fn named_struct_fields_parsed() {
         let it = &items("pub struct S { pub mv: u32, name: String }")[0];
-        let ItemKind::Struct { fields, tuple } = &it.kind else { panic!() };
+        let ItemKind::Struct { fields, tuple } = &it.kind else {
+            panic!()
+        };
         assert!(!*tuple);
-        assert_eq!(fields[0], Field { name: "mv".into(), ty: "u32".into() });
+        assert_eq!(
+            fields[0],
+            Field {
+                name: "mv".into(),
+                ty: "u32".into()
+            }
+        );
         assert_eq!(fields[1].name, "name");
     }
 
@@ -886,7 +915,9 @@ mod tests {
     fn enum_variants_with_named_fields() {
         let src = "pub enum E { Unit, Tuple(u32, String), Rec { core: u8, mv: u32 } }";
         let it = &items(src)[0];
-        let ItemKind::Enum { variants } = &it.kind else { panic!() };
+        let ItemKind::Enum { variants } = &it.kind else {
+            panic!()
+        };
         assert_eq!(variants.len(), 3);
         assert_eq!(variants[0].name, "Unit");
         assert!(variants[0].fields.is_empty());
@@ -916,7 +947,13 @@ mod tests {
     fn generic_impl_type_base_name() {
         let src = "impl<W: Write> Sink for ProgressSink<W> { fn emit(&mut self) {} }";
         let all = items(src);
-        let ItemKind::Impl { type_name, is_trait_impl } = &all[0].kind else { panic!() };
+        let ItemKind::Impl {
+            type_name,
+            is_trait_impl,
+        } = &all[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(type_name, "ProgressSink");
         assert!(*is_trait_impl);
     }
@@ -930,7 +967,8 @@ mod tests {
 
     #[test]
     fn trait_methods_are_marked() {
-        let src = "pub trait Observer { fn enabled(&self) -> bool { true } fn record(&self, e: &E); }";
+        let src =
+            "pub trait Observer { fn enabled(&self) -> bool { true } fn record(&self, e: &E); }";
         let all = fns(src);
         assert_eq!(all.len(), 2);
         assert!(all.iter().all(|f| f.in_trait_impl));
@@ -948,7 +986,9 @@ mod tests {
     #[test]
     fn use_paths_joined() {
         let it = &items("use std::collections::BTreeMap;")[0];
-        let ItemKind::Use { path } = &it.kind else { panic!() };
+        let ItemKind::Use { path } = &it.kind else {
+            panic!()
+        };
         assert_eq!(path, "std::collections::BTreeMap");
     }
 
@@ -981,7 +1021,9 @@ mod tests {
 
     #[test]
     fn malformed_input_does_not_panic() {
-        for src in ["fn", "struct", "impl {", "pub", "fn f(", "enum E {", "use ;"] {
+        for src in [
+            "fn", "struct", "impl {", "pub", "fn f(", "enum E {", "use ;",
+        ] {
             let _ = items(src);
         }
     }

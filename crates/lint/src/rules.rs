@@ -149,7 +149,8 @@ impl Rule {
     #[must_use]
     pub const fn explain(self) -> &'static str {
         match self {
-            Rule::UnseededRng => "\
+            Rule::UnseededRng => {
+                "\
 Why: the paper's Vmin/severity figures are distributions over seeded
 campaigns; any OS-entropy draw makes a run unrepeatable and its data
 point unverifiable.
@@ -157,8 +158,10 @@ point unverifiable.
 Bad:   let mut rng = rand::thread_rng();
 Good:  let mut rng = StdRng::seed_from_u64(config.seed);
 
-Waive: // lint: allow(unseeded-rng) — <why this site may be nondeterministic>",
-            Rule::HashIter => "\
+Waive: // lint: allow(unseeded-rng) — <why this site may be nondeterministic>"
+            }
+            Rule::HashIter => {
+                "\
 Why: HashMap/HashSet iteration order depends on the hasher's random
 state, so anything derived from iteration (reports, caches, traces)
 changes between runs. Deterministic crates use BTreeMap/BTreeSet.
@@ -166,8 +169,10 @@ changes between runs. Deterministic crates use BTreeMap/BTreeSet.
 Bad:   let mut by_core: HashMap<u8, Vec<Run>> = HashMap::new();
 Good:  let mut by_core: BTreeMap<u8, Vec<Run>> = BTreeMap::new();
 
-Waive: // lint: allow(hash-iter) — <why order cannot reach any output>",
-            Rule::FloatEq => "\
+Waive: // lint: allow(hash-iter) — <why order cannot reach any output>"
+            }
+            Rule::FloatEq => {
+                "\
 Why: float equality on model math silently depends on operation order
 and optimization level; voltage grids are integer millivolts precisely
 so comparisons stay exact.
@@ -175,8 +180,10 @@ so comparisons stay exact.
 Bad:   if severity == 0.15 { ... }
 Good:  if (severity - 0.15).abs() < 1e-9 { ... }   // or compare in mV
 
-Waive: // lint: allow(float-eq) — <why exact bit equality is intended>",
-            Rule::NoPanic => "\
+Waive: // lint: allow(float-eq) — <why exact bit equality is intended>"
+            }
+            Rule::NoPanic => {
+                "\
 Why: a panic in library code aborts a multi-hour characterization
 campaign and throws away every completed sweep; fallible paths must
 return typed errors the runner can log and recover from.
@@ -184,8 +191,10 @@ return typed errors the runner can log and recover from.
 Bad:   let prior = priors.get(&key).unwrap();
 Good:  let Some(prior) = priors.get(&key) else { return Err(...) };
 
-Waive: // lint: allow(no-panic) — <the invariant that makes this infallible>",
-            Rule::WallClock => "\
+Waive: // lint: allow(no-panic) — <the invariant that makes this infallible>"
+            }
+            Rule::WallClock => {
+                "\
 Why: the campaign clock is modelled (sum of modelled run durations), so
 results are identical on any machine at any load; reading the host
 clock leaks real time into that surface.
@@ -193,15 +202,19 @@ clock leaks real time into that surface.
 Bad:   let t0 = std::time::Instant::now();
 Good:  let t = finalizer.clock_s();   // modelled campaign time
 
-Waive: // lint: allow(wall-clock) — <why host time cannot reach results>",
-            Rule::StaleFile => "\
+Waive: // lint: allow(wall-clock) — <why host time cannot reach results>"
+            }
+            Rule::StaleFile => {
+                "\
 Why: *.bak/*.orig/*.rej files are editor/VCS droppings; checked in,
 they rot, shadow real sources in greps, and confuse the lint walker.
 
 Fix: delete the file (its history lives in git).
 
-Waive: not waivable — L6 applies to paths, not lines.",
-            Rule::UnitEscape => "\
+Waive: not waivable — L6 applies to paths, not lines."
+            }
+            Rule::UnitEscape => {
+                "\
 Why: the workspace defines quantity newtypes (Millivolts, Megahertz,
 CoreId) so a 980 can never be read as MHz where mV was meant — the
 paper's entire dataset is keyed by (voltage, frequency, core). A raw
@@ -212,8 +225,10 @@ can actually name the newtype (it is in their dependency closure).
 Bad:   pub fn on_grid(self, start_mv: u32) -> ResolvedPrior
 Good:  pub fn on_grid(self, start_mv: Millivolts) -> ResolvedPrior
 
-Waive: // lint: allow(unit-escape) — <why the raw representation is the API>",
-            Rule::SpanBalance => "\
+Waive: // lint: allow(unit-escape) — <why the raw representation is the API>"
+            }
+            Rule::SpanBalance => {
+                "\
 Why: campaign traces are spans (CampaignStarted..CampaignFinished,
 SweepStarted..SweepFinished); an open without its close truncates every
 derived analysis (durations, diffs, OpenMetrics counters). Constructors
@@ -226,8 +241,10 @@ Good:  emit SweepFinished (or delegate to a helper that does) before
        every return of the same function.
 
 Waive: // lint: allow(span-balance) — <which caller closes the span, and why
-       that is guaranteed>",
-            Rule::OrderSensitivity => "\
+       that is guaranteed>"
+            }
+            Rule::OrderSensitivity => {
+                "\
 Why: PR 2's bug class — worker threads finishing in scheduler order
 wrote events straight into an order-sensitive sink, so two identical
 campaigns produced different traces. Every spawn site on the
@@ -240,8 +257,10 @@ Good:  scope.spawn(move || tx.send((idx, run(item))));
        // ...then drain via a BTreeMap keyed by idx / StreamFinalizer.
 
 Waive: // lint: allow(order-sensitivity) — <why completion order cannot
-       reach any output>",
-            Rule::SwallowedFallibility => "\
+       reach any output>"
+            }
+            Rule::SwallowedFallibility => {
+                "\
 Why: a silently dropped Result from I/O, sink or cache calls turns a
 half-written campaign cache or truncated trace into 'success'; the
 stale data then poisons every later incremental run. Handle the error,
@@ -250,7 +269,8 @@ propagate it, or own the discard with a waiver.
 Bad:   let _ = self.writer.flush();
 Good:  self.writer.flush().map_err(CacheError::Io)?;
 
-Waive: // lint: allow(swallowed-fallibility) — <why best-effort is correct here>",
+Waive: // lint: allow(swallowed-fallibility) — <why best-effort is correct here>"
+            }
         }
     }
 
@@ -890,7 +910,11 @@ fn scan_event_uses(tokens: &[Token]) -> Vec<EventUse> {
                 }
                 let mut named = 0usize;
                 let mut rest = false;
-                let payload = if close > open { &tokens[open + 1..close] } else { &[] };
+                let payload = if close > open {
+                    &tokens[open + 1..close]
+                } else {
+                    &[]
+                };
                 for seg in parse::split_top_commas(payload) {
                     match (seg.first(), seg.get(1)) {
                         (Some(a), Some(b))
@@ -1038,14 +1062,12 @@ fn check_order_sensitivity(
         }
         let body = &tokens[lo..hi.min(tokens.len())];
         let spawn_at = body.iter().enumerate().position(|(j, t)| {
-            t.ident() == Some("spawn")
-                && body.get(j + 1).and_then(Token::punct) == Some("(")
+            t.ident() == Some("spawn") && body.get(j + 1).and_then(Token::punct) == Some("(")
         });
         let Some(spawn_at) = spawn_at else { continue };
         let reordered = body.iter().any(|t| {
-            t.ident().is_some_and(|id| {
-                REORDER_MARKERS.contains(&id) || id.starts_with("sort")
-            })
+            t.ident()
+                .is_some_and(|id| REORDER_MARKERS.contains(&id) || id.starts_with("sort"))
         });
         if !reordered {
             push(
@@ -1087,10 +1109,7 @@ fn expr_swallows_result(expr: &[Token], symbols: &Symbols) -> Option<String> {
                 if prev_punct == Some(".") && IO_METHODS.contains(&id) {
                     return Some(format!(".{id}()"));
                 }
-                if prev_punct == Some("::")
-                    && j >= 2
-                    && expr[j - 2].ident() == Some("fs")
-                {
+                if prev_punct == Some("::") && j >= 2 && expr[j - 2].ident() == Some("fs") {
                     return Some(format!("fs::{id}()"));
                 }
                 if prev_punct != Some(".") && symbols.always_returns_result(id) {
@@ -1101,18 +1120,15 @@ fn expr_swallows_result(expr: &[Token], symbols: &Symbols) -> Option<String> {
                 // Fallible only when the target is a field/path expression
                 // (`self.writer`, `io::stderr()`); a bare local ident is a
                 // `fmt::Write` String target and infallible.
-                if let Some(open) = (j + 2..expr.len())
-                    .find(|k| matches!(expr[*k].punct(), Some("(" | "[" | "{")))
+                if let Some(open) =
+                    (j + 2..expr.len()).find(|k| matches!(expr[*k].punct(), Some("(" | "[" | "{")))
                 {
                     let args = &expr[open + 1..];
                     let target: Vec<&Token> = parse::split_top_commas(args)
                         .first()
                         .map(|s| s.iter().collect())
                         .unwrap_or_default();
-                    if target
-                        .iter()
-                        .any(|t| matches!(t.punct(), Some("." | "::")))
-                    {
+                    if target.iter().any(|t| matches!(t.punct(), Some("." | "::"))) {
                         return Some(format!("{id}!"));
                     }
                 }
@@ -1171,8 +1187,9 @@ fn check_swallowed_fallibility(
         // `drop(<expr>)` — the free function, not `.drop()` or `fn drop`.
         if t.ident() == Some("drop")
             && tokens.get(i + 1).and_then(Token::punct) == Some("(")
-            && i.checked_sub(1)
-                .map_or(true, |k| tokens[k].punct() != Some(".") && tokens[k].ident() != Some("fn"))
+            && i.checked_sub(1).map_or(true, |k| {
+                tokens[k].punct() != Some(".") && tokens[k].ident() != Some("fn")
+            })
         {
             let open = i + 1;
             let mut depth = 0i32;
@@ -1190,7 +1207,8 @@ fn check_swallowed_fallibility(
                 }
                 close += 1;
             }
-            if let Some(what) = expr_swallows_result(&tokens[open + 1..close.min(tokens.len())], symbols)
+            if let Some(what) =
+                expr_swallows_result(&tokens[open + 1..close.min(tokens.len())], symbols)
             {
                 push(
                     out,
@@ -1395,7 +1413,10 @@ mod tests {
         );
         sym.trace_schema.insert(
             "SweepFinished".into(),
-            ["program", "vmin_mv"].iter().map(|s| (*s).to_owned()).collect(),
+            ["program", "vmin_mv"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
         );
         sym.fn_result.insert("persist_cache".into(), (1, 1));
         sym.fn_result.insert("lookup".into(), (1, 2));

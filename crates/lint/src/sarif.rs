@@ -47,10 +47,7 @@ pub fn to_sarif(report: &Report) -> String {
     s.push_str("          ]\n        }\n      },\n");
     s.push_str("      \"results\": [");
     for (i, f) in report.findings.iter().enumerate() {
-        let rule_index = rules
-            .iter()
-            .position(|r| *r == f.rule)
-            .unwrap_or_default();
+        let rule_index = rules.iter().position(|r| *r == f.rule).unwrap_or_default();
         s.push_str(if i == 0 { "\n" } else { ",\n" });
         let _ = write!(
             s,

@@ -60,16 +60,12 @@ pub fn file_symbols(parsed: &ParsedFile) -> FileSymbols {
             }
             ItemKind::Enum { variants } if item.name == "TraceEvent" => {
                 for v in variants {
-                    let fields: Vec<String> =
-                        v.fields.iter().map(|f| f.name.clone()).collect();
+                    let fields: Vec<String> = v.fields.iter().map(|f| f.name.clone()).collect();
                     out.trace_variants.push((v.name.clone(), fields));
                 }
             }
             ItemKind::Fn(sig) => {
-                let returns_result = sig
-                    .ret
-                    .as_deref()
-                    .is_some_and(|r| ty_mentions(r, "Result"));
+                let returns_result = sig.ret.as_deref().is_some_and(|r| ty_mentions(r, "Result"));
                 out.fns.push((item.name.clone(), returns_result));
             }
             _ => {}
@@ -181,10 +177,12 @@ impl Symbols {
         sym.active_quantities = QUANTITIES
             .iter()
             .filter_map(|q| {
-                sym.newtypes.get(q.newtype).map(|(_, def_crate)| ActiveQuantity {
-                    quantity: q.clone(),
-                    def_crate: def_crate.clone(),
-                })
+                sym.newtypes
+                    .get(q.newtype)
+                    .map(|(_, def_crate)| ActiveQuantity {
+                        quantity: q.clone(),
+                        def_crate: def_crate.clone(),
+                    })
             })
             .collect();
         sym
@@ -306,8 +304,7 @@ fn dep_closure(manifests: &BTreeMap<String, String>) -> BTreeMap<String, BTreeSe
         for line in text.lines() {
             let line = line.trim();
             if line.starts_with('[') {
-                in_deps = line == "[dependencies]"
-                    || line.starts_with("[dependencies.");
+                in_deps = line == "[dependencies]" || line.starts_with("[dependencies.");
                 if let Some(rest) = line.strip_prefix("[dependencies.") {
                     if let Some(name) = rest.strip_suffix(']') {
                         if let Some(ws) = workspace_dep_name(name) {
@@ -391,14 +388,16 @@ mod tests {
              pub struct Wrapper(String);\n\
              pub struct Named { v: u32 }",
         );
-        assert_eq!(fs.newtypes, vec![("Millivolts".to_owned(), "u32".to_owned())]);
+        assert_eq!(
+            fs.newtypes,
+            vec![("Millivolts".to_owned(), "u32".to_owned())]
+        );
     }
 
     #[test]
     fn trace_schema_collects_named_fields() {
-        let fs = symbols_of(
-            "pub enum TraceEvent { SweepStarted { program: String, core: u8 }, Plain }",
-        );
+        let fs =
+            symbols_of("pub enum TraceEvent { SweepStarted { program: String, core: u8 }, Plain }");
         assert_eq!(fs.trace_variants.len(), 2);
         assert_eq!(fs.trace_variants[1].0, "SweepStarted");
         assert_eq!(fs.trace_variants[1].1, vec!["program", "core"]);
@@ -482,7 +481,10 @@ mod tests {
     fn crate_of_paths() {
         assert_eq!(crate_of("crates/sim/src/volt.rs").as_deref(), Some("sim"));
         assert_eq!(crate_of("src/lib.rs").as_deref(), Some("voltmargin"));
-        assert_eq!(crate_of("examples/quickstart.rs").as_deref(), Some("voltmargin"));
+        assert_eq!(
+            crate_of("examples/quickstart.rs").as_deref(),
+            Some("voltmargin")
+        );
     }
 
     #[test]

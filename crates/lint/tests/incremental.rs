@@ -51,7 +51,11 @@ fn cold_then_warm_runs_are_byte_identical_and_fully_cached() {
     );
     assert_eq!(warm_stats.cache_misses, 0);
 
-    assert_eq!(cold.to_json(), warm.to_json(), "JSON must not depend on the cache");
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "JSON must not depend on the cache"
+    );
     assert_eq!(
         sarif::to_sarif(&cold),
         sarif::to_sarif(&warm),
@@ -68,8 +72,11 @@ fn cold_then_warm_runs_are_byte_identical_and_fully_cached() {
 #[test]
 fn corrupt_cache_degrades_to_full_scan_with_typed_state() {
     let cache = temp_path("cache-corrupt");
-    fs::write(&cache, b"margins-lint-cache v2 ctx=zz\x00not hex\nF garbage\n")
-        .expect("plant corrupt cache");
+    fs::write(
+        &cache,
+        b"margins-lint-cache v2 ctx=zz\x00not hex\nF garbage\n",
+    )
+    .expect("plant corrupt cache");
 
     let (report, stats) =
         lint_workspace_incremental(&semantic_root(), Some(&cache)).expect("corrupt run");
@@ -105,8 +112,7 @@ fn edits_invalidate_precisely() {
     let _ = fs::remove_file(&cache);
     copy_tree(&semantic_root(), &tree);
 
-    let (cold, cold_stats) =
-        lint_workspace_incremental(&tree, Some(&cache)).expect("cold run");
+    let (cold, cold_stats) = lint_workspace_incremental(&tree, Some(&cache)).expect("cold run");
 
     // A comment-only edit re-lints just that file: its symbol summary is
     // unchanged, so the workspace context holds and everyone else hits.

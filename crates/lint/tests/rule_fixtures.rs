@@ -206,7 +206,11 @@ fn span_balance_distinguishes_its_three_failure_modes() {
 fn semantic_clean_file_produces_nothing() {
     let report = lint_semantic();
     assert_eq!(
-        report.findings.iter().filter(|f| f.file == SEM_CLEAN).count(),
+        report
+            .findings
+            .iter()
+            .filter(|f| f.file == SEM_CLEAN)
+            .count(),
         0,
         "{:?}",
         report

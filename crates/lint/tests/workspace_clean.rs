@@ -58,7 +58,10 @@ fn workspace_semantic_rules_see_the_symbol_table() {
     let mut manifests = std::collections::BTreeMap::new();
     for rel in &files {
         if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
-            manifests.insert(rel.clone(), std::fs::read_to_string(root.join(rel)).unwrap());
+            manifests.insert(
+                rel.clone(),
+                std::fs::read_to_string(root.join(rel)).unwrap(),
+            );
         }
         if rel.ends_with(".rs") && margins_lint::rules::classify_path(rel).is_some() {
             let src = std::fs::read_to_string(root.join(rel)).unwrap();

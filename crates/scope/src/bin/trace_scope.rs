@@ -8,7 +8,7 @@
 //! trace-scope profile <file.jsonl | dir>... [--format md|json] [--out FILE]
 //! trace-scope profile diff <A.jsonl> <B.jsonl> [--out FILE]
 //! trace-scope merge <file.jsonl | dir>... [--out FILE]
-//! trace-scope fleet <file.jsonl | dir>... [--format md|csv] [--out FILE]
+//! trace-scope fleet <file.jsonl | dir>... [--population] [--format md|json|csv] [--out FILE]
 //! ```
 //!
 //! * `summary` folds every stream into one report (markdown by default).
@@ -23,11 +23,15 @@
 //! * `merge` concatenates streams in file order and re-seals them through
 //!   one `StreamFinalizer`, producing a single valid stream — the serial
 //!   baseline that fleet-daemon output is diffed against.
-//! * `fleet` folds a merged multi-campaign stream into per-chip rollups.
+//! * `fleet` folds a merged multi-campaign stream into per-chip rollups;
+//!   with `--population` it folds the same stream into per-corner
+//!   binding-Vmin and guardband-margin distributions instead.
 //!
 //! All outputs are byte-deterministic functions of the input records.
 
-use margins_scope::{diff, fleet_report, markdown, profile, summarize_records, DiffReport};
+use margins_scope::{
+    diff, fleet_report, markdown, population_report, profile, summarize_records, DiffReport,
+};
 use margins_trace::{
     collect_jsonl, merge_streams, read_jsonl, reconstruct, MetricsRegistry, Sink, TraceRecord,
 };
@@ -54,8 +58,10 @@ commands:
   merge <file.jsonl | dir>... [--out FILE]
       concatenate the streams in file order and re-seal sequence numbers
       and the modelled clock into one valid stream
-  fleet <file.jsonl | dir>... [--format md|csv] [--out FILE]
-      fold a merged multi-campaign stream into per-chip rollups";
+  fleet <file.jsonl | dir>... [--population] [--format md|json|csv] [--out FILE]
+      fold a merged multi-campaign stream into per-chip rollups; with
+      --population, into per-corner Vmin/margin distributions (json only
+      with --population)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +91,7 @@ struct Options {
     paths: Vec<String>,
     format: String,
     out: Option<PathBuf>,
+    population: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -92,10 +99,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         paths: Vec::new(),
         format: "md".to_owned(),
         out: None,
+        population: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--population" => opts.population = true,
             "--format" => {
                 let value = it.next().ok_or("--format requires a value")?;
                 if !matches!(value.as_str(), "md" | "json" | "csv") {
@@ -350,7 +359,7 @@ fn cmd_merge(args: &[String]) -> ExitCode {
 
 fn cmd_fleet(args: &[String]) -> ExitCode {
     let opts = match parse_options(args) {
-        Ok(o) if !o.paths.is_empty() && o.format != "json" => o,
+        Ok(o) if !o.paths.is_empty() && (o.population || o.format != "json") => o,
         Ok(o) if o.format == "json" => {
             eprintln!("trace-scope: fleet rollups render as md or csv\n{USAGE}");
             return ExitCode::from(2);
@@ -371,16 +380,31 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match fleet_report(&records) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("trace-scope: {e}");
-            return ExitCode::FAILURE;
+    let rendered = if opts.population {
+        let report = match population_report(&records) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace-scope: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match opts.format.as_str() {
+            "json" => report.json(),
+            "csv" => report.csv(),
+            _ => report.markdown(),
         }
-    };
-    let rendered = match opts.format.as_str() {
-        "csv" => report.csv(),
-        _ => report.markdown(),
+    } else {
+        let report = match fleet_report(&records) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace-scope: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match opts.format.as_str() {
+            "csv" => report.csv(),
+            _ => report.markdown(),
+        }
     };
     match deliver(&rendered, opts.out.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,

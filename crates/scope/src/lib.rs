@@ -23,6 +23,9 @@
 //!   CI exit codes.
 //! * [`fleet`] — per-chip rollups over a merged multi-campaign stream,
 //!   the shape `voltmargin serve` produces for each client.
+//! * [`population`] — the same streams folded the other way: per-corner
+//!   binding-Vmin and guardband-margin distributions, severity mix and
+//!   per-sweep sub-populations across the chip fleet.
 //!
 //! The `trace-scope` binary exposes all of these over the command line.
 
@@ -31,12 +34,17 @@
 
 pub mod diff;
 pub mod fleet;
+pub mod population;
 pub mod profile;
 pub mod render;
 pub mod summary;
 
 pub use diff::{diff, DiffReport, Divergence, DivergenceClass};
 pub use fleet::{fleet_report, ChipRollup, FleetReport};
+pub use population::{
+    population_report, Bucket, CornerPopulation, Distribution, PopulationReport, SweepPopulation,
+    BUCKET_WIDTH_MV,
+};
 pub use profile::{PhaseWork, ProfileDivergence, ProfileReport, SweepProfile};
 pub use render::{csv, json, markdown};
 pub use summary::{

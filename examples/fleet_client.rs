@@ -10,7 +10,9 @@
 //!
 //! Writes `<out-dir>/<client>/trace.jsonl` and `metrics.om`, and prints
 //! one summary line (chips, runs, power cycles, executed ops) — the line
-//! CI greps to gate the zero-probe warm rerun. With `--shutdown`, asks
+//! CI greps to gate the zero-probe warm rerun. With `--health`, prints the
+//! daemon's health snapshot after the results; with `--metrics-out FILE`,
+//! saves the daemon's OpenMetrics exposition. With `--shutdown`, asks
 //! the daemon to stop after the results arrive.
 
 use std::collections::BTreeMap;
@@ -39,7 +41,7 @@ fn run(args: &[String]) -> Result<(), String> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{flag}'"))?;
-        if key == "shutdown" {
+        if key == "shutdown" || key == "health" {
             flags.insert(key.to_owned(), String::new());
             continue;
         }
@@ -158,6 +160,35 @@ fn run(args: &[String]) -> Result<(), String> {
     println!(
         "client={client} job={job} chips={chips} runs={runs} power_cycles={power_cycles} executed_ops={executed_ops}"
     );
+
+    if flags.contains_key("health") {
+        match exchange(&Request::Health)? {
+            Response::Health(h) => println!(
+                "health: workers={} busy={} queued_units={} jobs_queued={} \
+                 jobs_running={} jobs_done={} jobs_cancelled={} jobs_failed={} subscribers={}",
+                h.workers,
+                h.busy,
+                h.queued_units,
+                h.jobs_queued,
+                h.jobs_running,
+                h.jobs_done,
+                h.jobs_cancelled,
+                h.jobs_failed,
+                h.subscribers
+            ),
+            other => return Err(format!("unexpected reply to health: {other:?}")),
+        }
+    }
+
+    if let Some(path) = flags.get("metrics-out") {
+        match exchange(&Request::Metrics)? {
+            Response::Metrics { body } => {
+                std::fs::write(path, &body).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                eprintln!("{client}: daemon metrics saved to {path}");
+            }
+            other => return Err(format!("unexpected reply to metrics: {other:?}")),
+        }
+    }
 
     if flags.contains_key("shutdown") {
         match exchange(&Request::Shutdown)? {

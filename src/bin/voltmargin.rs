@@ -8,6 +8,7 @@
 //! voltmargin profile --chip ttt --benchmarks bwaves,mcf --core 0
 //! voltmargin govern --chip ttt --tasks bwaves,leslie3d,milc,namd --max-loss 0.25
 //! voltmargin serve --addr 127.0.0.1:4750 --workers 4 --cache fleet-cache.jsonl
+//! voltmargin watch --addr 127.0.0.1:4750 --client lab --job 0
 //! voltmargin list-benchmarks
 //! ```
 
@@ -53,7 +54,11 @@ commands:
   profile        run benchmarks at nominal and print key PMU counters
   govern         plan undervolted operating points for a task set
   serve          run the fleet characterization daemon (line-delimited
-                 JSON protocol: submit/status/cancel/results/shutdown)
+                 JSON protocol: submit/status/cancel/results/shutdown,
+                 plus subscribe/unsubscribe/health/metrics)
+  watch          subscribe to a fleet job's live event stream and print
+                 one line per event; optionally reassemble the job's
+                 trace from the streamed per-chip payloads
   cache compact FILE   rewrite a campaign-cache JSONL file in canonical
                        form, dropping superseded duplicate entries
   list-benchmarks      list characterizable workloads
@@ -95,7 +100,16 @@ common options:
   --workers N               (serve) scheduler worker threads (default 4);
                             serve also honours --cache (shared campaign
                             cache, loaded at start, saved at shutdown) and
-                            --out-dir (per-client job artifacts)";
+                            --out-dir (per-client job artifacts)
+  --subscriber-queue N      (serve) bound on each subscriber's event queue
+                            (default 1024); slow consumers overflowing it
+                            lose events (reported via a `lagged` frame)
+                            instead of blocking the scheduler
+  --client NAME             (watch) job owner, as given to the submitter
+  --job N                   (watch) job id printed by the submitter
+  --trace-out FILE          (watch) after the terminal event, reassemble
+                            the job trace from the streamed per-chip
+                            payloads and write it as JSONL";
 
 fn run(args: &[String]) -> Result<(), String> {
     // `cache` takes a positional subcommand, not --flags; dispatch it
@@ -109,6 +123,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "profile" => profile_cmd(&mut opts),
         "govern" => govern(&mut opts),
         "serve" => serve_cmd(&opts),
+        "watch" => watch_cmd(&opts),
         "help" => {
             println!("{USAGE}");
             Ok(())
@@ -164,8 +179,182 @@ fn serve_cmd(opts: &Options) -> Result<(), String> {
         workers: opts.parse_num("workers", 4usize)?,
         cache_path: opts.flags.get("cache").cloned(),
         out_dir: opts.flags.get("out-dir").cloned(),
+        subscriber_queue: opts.parse_num("subscriber-queue", 0usize)?,
     };
     voltmargin::fleet::serve(&config).map_err(|e| e.to_string())
+}
+
+/// `voltmargin watch`: subscribe to a job's event stream and narrate it.
+///
+/// Prints one human line per event to stdout, skips unknown event kinds
+/// (forward compatibility with newer daemons), and — with `--trace-out` —
+/// reassembles the job's canonical trace from the streamed per-chip
+/// payloads once the terminal event arrives. Exits non-zero when the
+/// watched job failed.
+fn watch_cmd(opts: &Options) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use voltmargin::fleet::{FleetEvent, Request, Response};
+
+    let addr = opts
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:4750".to_owned());
+    let client = opts
+        .flags
+        .get("client")
+        .cloned()
+        .ok_or("watch: --client is required")?;
+    let job: u64 = opts
+        .flags
+        .get("job")
+        .ok_or("watch: --job is required")?
+        .parse()
+        .map_err(|_| "watch: --job: bad value".to_owned())?;
+    let trace_out = opts.flags.get("trace-out").cloned();
+
+    let stream = std::net::TcpStream::connect(&addr).map_err(|e| format!("watch: {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("watch: {addr}: {e}"))?;
+    writeln!(
+        writer,
+        "{}",
+        Request::Subscribe {
+            client: client.clone(),
+            job,
+        }
+        .to_line()
+    )
+    .map_err(|e| format!("watch: {addr}: {e}"))?;
+    writer.flush().map_err(|e| format!("watch: {addr}: {e}"))?;
+
+    // Per-chip sealed streams, keyed by canonical chip index; the
+    // terminal event triggers the canonical re-seal, which is
+    // byte-identical to the daemon's artifact merge.
+    let mut chip_traces: std::collections::BTreeMap<u32, Vec<voltmargin::trace::TraceRecord>> =
+        std::collections::BTreeMap::new();
+    let mut failed = false;
+    let mut terminal = false;
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("watch: {addr}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = Response::parse_line(&line).map_err(|e| format!("watch: {e}"))?;
+        match response {
+            Response::Subscribed { job } => eprintln!("watching job {job} on {addr}"),
+            Response::Error { code, message, .. } => {
+                return Err(format!("watch: daemon error [{code}]: {message}"));
+            }
+            Response::Event(event) => {
+                if let Some(line) = narrate(&event) {
+                    println!("{line}");
+                }
+                match event {
+                    FleetEvent::ChipFinished { chip, trace, .. } => {
+                        let records = voltmargin::trace::read_jsonl(&trace)
+                            .map_err(|e| format!("watch: chip {chip} trace: {e}"))?;
+                        chip_traces.insert(chip, records);
+                    }
+                    FleetEvent::JobFinished { .. } | FleetEvent::JobCancelled { .. } => {
+                        terminal = true;
+                    }
+                    FleetEvent::JobFailed { .. } => {
+                        failed = true;
+                        terminal = true;
+                    }
+                    _ => {}
+                }
+                if terminal {
+                    break;
+                }
+            }
+            other => return Err(format!("watch: unexpected frame {other:?}")),
+        }
+    }
+    if !terminal {
+        return Err("watch: connection closed before the job reached a terminal event".into());
+    }
+    if let Some(path) = &trace_out {
+        let records =
+            voltmargin::trace::merge_streams(chip_traces.values().map(std::vec::Vec::as_slice));
+        let mut body = String::new();
+        for record in &records {
+            let line = record
+                .to_json_line()
+                .map_err(|e| format!("watch: --trace-out: {e}"))?;
+            body.push_str(&line);
+            body.push('\n');
+        }
+        std::fs::write(path, &body).map_err(|e| format!("watch: --trace-out {path}: {e}"))?;
+        eprintln!(
+            "wrote {} reassembled trace records to {path}",
+            records.len()
+        );
+    }
+    if failed {
+        // The job's failure is already narrated; distinguish it from
+        // watch's own errors (exit 2) without reprinting usage.
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// One human-readable line per fleet event; `None` for kinds this client
+/// does not know (skipped, per the protocol's forward-compatibility
+/// contract).
+fn narrate(event: &voltmargin::fleet::FleetEvent) -> Option<String> {
+    use voltmargin::fleet::FleetEvent;
+    Some(match event {
+        FleetEvent::JobQueued { job, client, chips } => {
+            format!("job {job} queued by {client}: {chips} chip(s)")
+        }
+        FleetEvent::JobStarted { job } => format!("job {job} started"),
+        FleetEvent::ChipStarted { chip, chip_id, .. } => {
+            format!("chip {chip} ({chip_id}) started")
+        }
+        FleetEvent::SweepProgress {
+            chip,
+            program,
+            dataset,
+            core,
+            runs,
+            ..
+        } => format!("chip {chip} swept {program}/{dataset} core{core}: {runs} run(s)"),
+        FleetEvent::ChipFinished {
+            chip,
+            chip_id,
+            runs,
+            power_cycles,
+            vmin_mv,
+            severity_sum,
+            cache_hits,
+            cache_lookups,
+            ..
+        } => {
+            let vmin = vmin_mv.map_or_else(|| "censored".to_owned(), |mv| format!("{mv}mV"));
+            format!(
+                "chip {chip} ({chip_id}) finished: vmin={vmin} runs={runs} \
+                 power_cycles={power_cycles} severity={severity_sum} \
+                 cache={cache_hits}/{cache_lookups}"
+            )
+        }
+        FleetEvent::JobFinished {
+            job,
+            chips,
+            runs,
+            power_cycles,
+        } => format!("job {job} finished: chips={chips} runs={runs} power_cycles={power_cycles}"),
+        FleetEvent::JobCancelled { job, done, total } => {
+            format!("job {job} cancelled: {done}/{total} chip(s) completed")
+        }
+        FleetEvent::JobFailed { job, message } => format!("job {job} failed: {message}"),
+        FleetEvent::Lagged { job, dropped } => {
+            format!("job {job} lagged: {dropped} event(s) dropped")
+        }
+        FleetEvent::Unknown { .. } => return None,
+    })
 }
 
 struct Options {

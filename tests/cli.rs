@@ -474,6 +474,7 @@ fn help_names_every_subcommand() {
         "profile",
         "govern",
         "serve",
+        "watch",
         "cache compact",
         "list-benchmarks",
         "help",
@@ -513,8 +514,9 @@ fn serve_reports_bind_failures() {
 #[test]
 fn serve_answers_clients_and_shuts_down_cleanly() {
     use voltmargin::characterize::search::SearchStrategy;
-    use voltmargin::fleet::{FleetSpec, Request, Response, PROTO_VERSION};
+    use voltmargin::fleet::{FleetEvent, FleetSpec, Request, Response, PROTO_VERSION};
     use voltmargin::sim::Corner;
+    use voltmargin::trace::{merge_streams, read_jsonl};
 
     let dir = std::env::temp_dir().join(format!("voltmargin-serve-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -551,21 +553,24 @@ fn serve_answers_clients_and_shuts_down_cleanly() {
     let stream = TcpStream::connect(&addr).expect("daemon accepts");
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
-    let mut exchange = |line: &str| -> Response {
+    fn exchange(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Response {
         writeln!(writer, "{line}").unwrap();
         writer.flush().unwrap();
         let mut reply = String::new();
         reader.read_line(&mut reply).unwrap();
         Response::parse_line(&reply).expect("daemon frames decode")
-    };
+    }
 
     // Hostile bytes never kill the connection — they are answered with
     // typed, versioned error frames.
-    let Response::Error { proto, code, .. } = exchange("this is not json") else {
+    let Response::Error { proto, code, .. } =
+        exchange(&mut writer, &mut reader, "this is not json")
+    else {
         panic!("garbage must yield an error frame");
     };
     assert_eq!((proto, code.as_str()), (PROTO_VERSION, "malformed"));
-    let Response::Error { code, .. } = exchange("{\"kind\":\"reboot\"}") else {
+    let Response::Error { code, .. } = exchange(&mut writer, &mut reader, "{\"kind\":\"reboot\"}")
+    else {
         panic!("unknown kinds must yield an error frame");
     };
     assert_eq!(code, "unknown-kind");
@@ -590,7 +595,8 @@ fn serve_answers_clients_and_shuts_down_cleanly() {
             ..spec.clone()
         },
     };
-    let Response::Error { code, message, .. } = exchange(&bad.to_line()) else {
+    let Response::Error { code, message, .. } = exchange(&mut writer, &mut reader, &bad.to_line())
+    else {
         panic!("invalid specs must yield an error frame");
     };
     assert_eq!(code, "bad-spec");
@@ -600,7 +606,8 @@ fn serve_answers_clients_and_shuts_down_cleanly() {
         client: "ci".into(),
         spec,
     };
-    let Response::Submitted { job, chips } = exchange(&submit.to_line()) else {
+    let Response::Submitted { job, chips } = exchange(&mut writer, &mut reader, &submit.to_line())
+    else {
         panic!("valid submits are acknowledged");
     };
     assert_eq!(chips, 2);
@@ -615,7 +622,7 @@ fn serve_answers_clients_and_shuts_down_cleanly() {
         trace,
         metrics,
         ..
-    } = exchange(&results.to_line())
+    } = exchange(&mut writer, &mut reader, &results.to_line())
     else {
         panic!("results arrive for a completed job");
     };
@@ -624,7 +631,124 @@ fn serve_answers_clients_and_shuts_down_cleanly() {
     assert!(trace.contains("TTT#7") && trace.contains("TTT#8"));
     assert!(metrics.ends_with("# EOF\n"));
 
-    assert_eq!(exchange(&Request::Shutdown.to_line()), Response::Bye);
+    // Daemon health and metrics exposition over the wire.
+    let Response::Health(health) = exchange(&mut writer, &mut reader, &Request::Health.to_line())
+    else {
+        panic!("health requests are answered with a snapshot");
+    };
+    assert_eq!(health.workers, 2);
+    assert_eq!(health.jobs_done, 1);
+    let Response::Metrics { body } =
+        exchange(&mut writer, &mut reader, &Request::Metrics.to_line())
+    else {
+        panic!("metrics requests are answered with an exposition");
+    };
+    assert!(body.ends_with("# EOF\n"), "{body}");
+    assert!(
+        body.contains("voltmargin_fleet_jobs_completed_total 1"),
+        "{body}"
+    );
+
+    // Subscribing to the finished job replays it from the retained
+    // results; re-sealing the streamed per-chip payloads reproduces the
+    // artifact trace byte for byte.
+    let sub = Request::Subscribe {
+        client: "ci".into(),
+        job,
+    };
+    let Response::Subscribed { job: sub_job } = exchange(&mut writer, &mut reader, &sub.to_line())
+    else {
+        panic!("owners can subscribe to their jobs");
+    };
+    assert_eq!(sub_job, job);
+    let mut streams = std::collections::BTreeMap::new();
+    loop {
+        let mut frame = String::new();
+        reader.read_line(&mut frame).unwrap();
+        let Response::Event(event) = Response::parse_line(&frame).expect("event frames decode")
+        else {
+            panic!("only event frames flow after the subscribe ack: {frame}");
+        };
+        match event {
+            FleetEvent::ChipFinished { chip, trace, .. } => {
+                streams.insert(chip, read_jsonl(&trace).expect("streamed traces parse"));
+            }
+            FleetEvent::JobFinished { .. } => break,
+            FleetEvent::Lagged { .. } => panic!("a drained subscriber never lags"),
+            _ => {}
+        }
+    }
+    let replay: String = merge_streams(streams.values().map(Vec::as_slice))
+        .iter()
+        .map(|r| r.to_json_line().expect("records encode") + "\n")
+        .collect();
+    assert_eq!(replay, trace, "subscription replay matches the artifact");
+    let unsub = Request::Unsubscribe {
+        client: "ci".into(),
+        job,
+    };
+    writeln!(writer, "{}", unsub.to_line()).unwrap();
+    writer.flush().unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert_eq!(
+        Response::parse_line(&ack).expect("ack decodes"),
+        Response::Unsubscribed { job }
+    );
+
+    // The `watch` subcommand follows the job to its terminal event and
+    // re-seals the streamed per-chip payloads into a replay trace that
+    // matches the artifact byte for byte.
+    let replay_path = dir.join("watch-replay.jsonl");
+    let watch = voltmargin(&[
+        "watch",
+        "--addr",
+        &addr,
+        "--client",
+        "ci",
+        "--job",
+        &job.to_string(),
+        "--trace-out",
+        replay_path.to_str().unwrap(),
+    ]);
+    assert!(
+        watch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let narration = String::from_utf8(watch.stdout).unwrap();
+    assert!(narration.contains("finished"), "stdout: {narration}");
+    assert_eq!(
+        std::fs::read_to_string(&replay_path).unwrap(),
+        trace,
+        "watch --trace-out matches the artifact"
+    );
+
+    // A subscriber that vanishes mid-stream (socket dropped with its
+    // backlog unread) never kills the daemon.
+    {
+        let abrupt = TcpStream::connect(&addr).expect("daemon accepts");
+        let mut w = abrupt.try_clone().unwrap();
+        let mut r = BufReader::new(abrupt);
+        let sub = Request::Subscribe {
+            client: "ci".into(),
+            job,
+        };
+        writeln!(w, "{}", sub.to_line()).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(matches!(
+            Response::parse_line(&line),
+            Ok(Response::Subscribed { .. })
+        ));
+        // Dropped here with queued events still in flight.
+    }
+
+    assert_eq!(
+        exchange(&mut writer, &mut reader, &Request::Shutdown.to_line()),
+        Response::Bye
+    );
     let status = child.wait().expect("daemon exits");
     assert!(status.success(), "clean shutdown exits 0");
 

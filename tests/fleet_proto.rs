@@ -10,11 +10,15 @@
 //! 2. decoding is total — truncated or corrupt bytes yield a typed
 //!    [`ProtoError`], never a panic;
 //! 3. unknown `kind` discriminators are rejected with the protocol
-//!    version attached.
+//!    version attached — but unknown *event* sub-kinds inside a
+//!    well-formed `event` frame decode to [`FleetEvent::Unknown`], so a
+//!    version-aware client can skip what a newer daemon pushes.
 
 use proptest::prelude::*;
 use voltmargin::characterize::search::SearchStrategy;
-use voltmargin::fleet::{FleetSpec, ProtoError, Request, Response, PROTO_VERSION};
+use voltmargin::fleet::{
+    FleetEvent, FleetSpec, HealthSnapshot, ProtoError, Request, Response, PROTO_VERSION,
+};
 use voltmargin::sim::Corner;
 
 // ---------------------------------------------------------------------
@@ -163,7 +167,7 @@ fn request_from(seed: u64) -> Request {
     let mut state = seed;
     let client = string_from(&mut state);
     let job = mix(&mut state);
-    match mix(&mut state) % 5 {
+    match mix(&mut state) % 9 {
         0 => Request::Submit {
             client,
             spec: spec_from(&mut state),
@@ -171,7 +175,77 @@ fn request_from(seed: u64) -> Request {
         1 => Request::Status { client, job },
         2 => Request::Cancel { client, job },
         3 => Request::Results { client, job },
+        4 => Request::Subscribe { client, job },
+        5 => Request::Unsubscribe { client, job },
+        6 => Request::Health,
+        7 => Request::Metrics,
         _ => Request::Shutdown,
+    }
+}
+
+/// Event `what` tokens no proto-v2 decoder knows; used to exercise the
+/// skip-don't-fail contract.
+const UNKNOWN_WHATS: [&str; 3] = ["chip-rebooted", "rail-browned-out", "x"];
+
+fn event_from(state: &mut u64) -> FleetEvent {
+    let job = mix(state);
+    let chip = mix(state) as u32;
+    match mix(state) % 10 {
+        0 => FleetEvent::JobQueued {
+            job,
+            client: string_from(state),
+            chips: mix(state) as u32,
+        },
+        1 => FleetEvent::JobStarted { job },
+        2 => FleetEvent::ChipStarted {
+            job,
+            chip,
+            chip_id: string_from(state),
+        },
+        3 => FleetEvent::SweepProgress {
+            job,
+            chip,
+            program: string_from(state),
+            dataset: string_from(state),
+            core: (mix(state) % 8) as u8,
+            runs: mix(state),
+        },
+        4 => FleetEvent::ChipFinished {
+            job,
+            chip,
+            chip_id: string_from(state),
+            runs: mix(state),
+            power_cycles: mix(state),
+            vmin_mv: mix(state)
+                .is_multiple_of(2)
+                .then(|| 800 + (mix(state) % 200) as u32),
+            severity_sum: (mix(state) % 1_000) as f64 / 8.0,
+            cache_hits: mix(state),
+            cache_lookups: mix(state),
+            trace: string_from(state),
+        },
+        5 => FleetEvent::JobFinished {
+            job,
+            chips: mix(state) as u32,
+            runs: mix(state),
+            power_cycles: mix(state),
+        },
+        6 => FleetEvent::JobCancelled {
+            job,
+            done: mix(state) as u32,
+            total: mix(state) as u32,
+        },
+        7 => FleetEvent::JobFailed {
+            job,
+            message: string_from(state),
+        },
+        8 => FleetEvent::Lagged {
+            job,
+            dropped: mix(state),
+        },
+        _ => FleetEvent::Unknown {
+            what: UNKNOWN_WHATS[(mix(state) % UNKNOWN_WHATS.len() as u64) as usize].to_owned(),
+        },
     }
 }
 
@@ -180,7 +254,7 @@ fn response_from(seed: u64) -> Response {
     let text_a = string_from(&mut state);
     let text_b = string_from(&mut state);
     let job = mix(&mut state);
-    match mix(&mut state) % 6 {
+    match mix(&mut state) % 11 {
         0 => Response::Submitted {
             job,
             chips: mix(&mut state) as u32,
@@ -190,8 +264,14 @@ fn response_from(seed: u64) -> Response {
             state: text_a,
             done: mix(&mut state) as u32,
             total: mix(&mut state) as u32,
+            queue_position: mix(&mut state) as u32,
+            progress: (mix(&mut state) % 101) as f64 / 100.0,
         },
-        2 => Response::Cancelled { job },
+        2 => Response::Cancelled {
+            job,
+            done: mix(&mut state) as u32,
+            total: mix(&mut state) as u32,
+        },
         3 => Response::Results {
             job,
             chips: mix(&mut state) as u32,
@@ -202,6 +282,21 @@ fn response_from(seed: u64) -> Response {
             metrics: text_b,
         },
         4 => Response::Bye,
+        5 => Response::Subscribed { job },
+        6 => Response::Unsubscribed { job },
+        7 => Response::Health(HealthSnapshot {
+            workers: mix(&mut state) as u32,
+            busy: mix(&mut state) as u32,
+            queued_units: mix(&mut state),
+            jobs_queued: mix(&mut state) as u32,
+            jobs_running: mix(&mut state) as u32,
+            jobs_done: mix(&mut state) as u32,
+            jobs_cancelled: mix(&mut state) as u32,
+            jobs_failed: mix(&mut state) as u32,
+            subscribers: mix(&mut state) as u32,
+        }),
+        8 => Response::Metrics { body: text_a },
+        9 => Response::Event(event_from(&mut state)),
         _ => Response::Error {
             proto: mix(&mut state) as u32,
             code: text_a,
@@ -257,9 +352,19 @@ fn example_requests_roundtrip() {
             client: client.clone(),
             job: 0,
         });
-        assert_request_roundtrips(&Request::Results { client, job: 7 });
+        assert_request_roundtrips(&Request::Results {
+            client: client.clone(),
+            job: 7,
+        });
+        assert_request_roundtrips(&Request::Subscribe {
+            client: client.clone(),
+            job: 9,
+        });
+        assert_request_roundtrips(&Request::Unsubscribe { client, job: 9 });
     }
     assert_request_roundtrips(&Request::Shutdown);
+    assert_request_roundtrips(&Request::Health);
+    assert_request_roundtrips(&Request::Metrics);
 }
 
 #[test]
@@ -270,6 +375,8 @@ fn example_responses_roundtrip() {
             state: text.clone(),
             done: 1,
             total: 64,
+            queue_position: 2,
+            progress: 0.015_625,
         });
         assert_response_roundtrips(&Response::Results {
             job: 3,
@@ -287,8 +394,73 @@ fn example_responses_roundtrip() {
         });
     }
     assert_response_roundtrips(&Response::Submitted { job: 1, chips: 64 });
-    assert_response_roundtrips(&Response::Cancelled { job: 1 });
+    assert_response_roundtrips(&Response::Cancelled {
+        job: 1,
+        done: 5,
+        total: 64,
+    });
     assert_response_roundtrips(&Response::Bye);
+    assert_response_roundtrips(&Response::Subscribed { job: 1 });
+    assert_response_roundtrips(&Response::Unsubscribed { job: 1 });
+    assert_response_roundtrips(&Response::Health(HealthSnapshot {
+        workers: 4,
+        busy: 3,
+        queued_units: 61,
+        jobs_queued: 1,
+        jobs_running: 1,
+        jobs_done: 2,
+        jobs_cancelled: 1,
+        jobs_failed: 0,
+        subscribers: 2,
+    }));
+    assert_response_roundtrips(&Response::Metrics {
+        body: "# TYPE voltmargin_fleet_workers gauge\nvoltmargin_fleet_workers 4\n# EOF\n".into(),
+    });
+}
+
+#[test]
+fn example_events_roundtrip() {
+    for seed in 0..64u64 {
+        let mut state = seed;
+        assert_response_roundtrips(&Response::Event(event_from(&mut state)));
+    }
+    // The censored chip encodes its Vmin by omission and still round-trips.
+    assert_response_roundtrips(&Response::Event(FleetEvent::ChipFinished {
+        job: 0,
+        chip: 1,
+        chip_id: "TSS#2".into(),
+        runs: 6,
+        power_cycles: 2,
+        vmin_mv: None,
+        severity_sum: 1.5,
+        cache_hits: 0,
+        cache_lookups: 6,
+        trace: "{\"seq\":0}\n".into(),
+    }));
+}
+
+#[test]
+fn example_unknown_event_kinds_are_skippable_not_fatal() {
+    // A well-formed event frame whose `what` this version has never
+    // heard of decodes to `FleetEvent::Unknown` — the client skips it and
+    // keeps the stream, instead of dropping the connection.
+    for what in UNKNOWN_WHATS {
+        let line = format!(
+            "{{\"kind\":\"event\",\"what\":{},\"job\":3,\"payload\":{{\"novel\":true}}}}",
+            margins_json_string(what)
+        );
+        let decoded = Response::parse_line(&line).expect("unknown event kinds decode");
+        assert_eq!(
+            decoded,
+            Response::Event(FleetEvent::Unknown {
+                what: what.to_owned()
+            })
+        );
+    }
+    // A *known* what with a broken payload is still a typed error: the
+    // skip contract covers novelty, not corruption.
+    let corrupt = "{\"kind\":\"event\",\"what\":\"job-started\"}";
+    assert!(Response::parse_line(corrupt).is_err());
 }
 
 #[test]
@@ -404,8 +576,27 @@ proptest! {
     #[test]
     fn unknown_kinds_are_versioned_rejections(kind in "[a-z-]{1,12}") {
         // Skip the kinds this protocol version does define.
-        let known = ["submit", "status", "cancel", "results", "shutdown"];
+        let known = [
+            "submit", "status", "cancel", "results", "shutdown",
+            "subscribe", "unsubscribe", "health", "metrics",
+        ];
         prop_assume!(!known.contains(&kind.as_str()));
         assert_unknown_kind_is_versioned(&kind);
+    }
+
+    #[test]
+    fn unknown_event_whats_decode_skippable(what in "[a-z-]{1,16}") {
+        let known = [
+            "job-queued", "job-started", "chip-started", "sweep-progress",
+            "chip-finished", "job-finished", "job-cancelled", "job-failed",
+            "lagged",
+        ];
+        prop_assume!(!known.contains(&what.as_str()));
+        let line = format!(
+            "{{\"kind\":\"event\",\"what\":{}}}",
+            margins_json_string(&what)
+        );
+        let decoded = Response::parse_line(&line).expect("unknown event kinds decode");
+        prop_assert_eq!(decoded, Response::Event(FleetEvent::Unknown { what }));
     }
 }
